@@ -1,0 +1,17 @@
+"""Section V-A2 corpus statistics.
+
+Paper: Alexa 320 commands, mean 5.95 words, 86.8 % with >= 4 words;
+Google 443 commands, mean 7.39 words, 93.9 % with >= 5 words.
+"""
+
+from __future__ import annotations
+
+from repro.audio.commands import alexa_corpus, google_corpus
+from repro.experiments.fig6 import corpus_report
+
+
+def test_corpus_statistics(benchmark, publish):
+    text = benchmark.pedantic(corpus_report, rounds=1, iterations=1)
+    publish("corpus_stats", text)
+    assert abs(alexa_corpus().mean_word_count() - 5.95) < 0.1
+    assert abs(google_corpus().mean_word_count() - 7.39) < 0.1

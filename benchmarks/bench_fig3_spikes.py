@@ -1,0 +1,19 @@
+"""Figure 3: traffic spikes during a user-Echo interaction.
+
+Paper: the naive post-idle-spike rule mistakes the response spikes
+(3)(4)(5) for commands and holds them; the signature method does not.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_interaction_spikes(benchmark, publish):
+    result = benchmark.pedantic(lambda: run_fig3(seed=5), rounds=1, iterations=1)
+    publish("fig3_spikes", result.render())
+    assert len(result.spikes) == 4  # command phase + 3 response spikes
+    assert result.naive_wrong_holds == 3
+    assert result.guard_command_windows == 1
+    assert result.guard_response_windows == 3
+    assert max(result.guard_response_hold_times) < 0.3

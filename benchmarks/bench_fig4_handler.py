@@ -1,0 +1,21 @@
+"""Figure 4: the Traffic Handler's three cases.
+
+Paper: (I) reply < 0.04 s without the proxy; (II) held ~1.5 s then
+released, reply right after release, session intact; (III) held then
+discarded -> TLS record-sequence mismatch closes the session.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_traffic_handler_cases(benchmark, publish):
+    result = benchmark.pedantic(lambda: run_fig4(seed=9), rounds=1, iterations=1)
+    publish("fig4_handler", result.render())
+    case1, case2, case3 = (result.case(n) for n in ("case I", "case II", "case III"))
+    assert case1.executed and case1.reply_delay < 0.15
+    assert case2.executed and not case2.tls_violation
+    assert 0.5 < case2.hold_duration < 4.0
+    assert not case3.executed
+    assert case3.tls_violation and case3.session_closed and case3.reconnected

@@ -1,0 +1,19 @@
+"""Figure 6: the two user-visible delay cases.
+
+Paper: >= 80 % of RSSI queries complete while the user is still
+speaking (case a); the rest add only a small residual (case b).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_delay_cases(benchmark, publish):
+    echo = benchmark.pedantic(
+        lambda: run_fig6("echo", invocations=120, seed=6), rounds=1, iterations=1,
+    )
+    google = run_fig6("google", invocations=120, seed=6)
+    publish("fig6_delay_cases", echo.render() + "\n" + google.render())
+    assert echo.hidden_fraction >= 0.7
+    assert echo.mean_residual < 1.5

@@ -1,0 +1,29 @@
+"""Figure 8: RSSI maps for the first deployment location, all testbeds.
+
+Paper claims reproduced as assertions: the speaker's room (plus
+line-of-sight spots) reads above the calibrated threshold, other rooms
+read below it, and in the house the six locations directly above the
+speaker (#55, #56, #59-62) leak above the threshold.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.rssi_maps import run_rssi_map
+from repro.radio.testbeds import HOUSE_LEAK_POINT_NUMBERS
+
+
+def test_fig8_maps_first_deployment(benchmark, publish, results_dir):
+    house = benchmark.pedantic(
+        lambda: run_rssi_map("house", 0, seed=8), rounds=1, iterations=1,
+    )
+    apartment = run_rssi_map("apartment", 0, seed=8)
+    office = run_rssi_map("office", 0, seed=8)
+    text = "\n\n".join(r.render() for r in (house, apartment, office))
+    publish("fig8_rssi_maps", text)
+    from repro.analysis.export import export_rssi_map
+    for result in (house, apartment, office):
+        export_rssi_map(result, results_dir / f"fig8_{result.testbed}_map.csv")
+    for result in (house, apartment, office):
+        assert result.in_room_fraction_above_threshold() >= 0.9, result.testbed
+        assert result.away_fraction_below_threshold() >= 0.9, result.testbed
+    assert set(house.leak_points_above_threshold()) == set(HOUSE_LEAK_POINT_NUMBERS)

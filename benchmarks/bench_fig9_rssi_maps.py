@@ -1,0 +1,18 @@
+"""Figure 9: RSSI maps for the second deployment location, all testbeds."""
+
+from __future__ import annotations
+
+from repro.experiments.rssi_maps import run_rssi_map
+
+
+def test_fig9_maps_second_deployment(benchmark, publish):
+    house = benchmark.pedantic(
+        lambda: run_rssi_map("house", 1, seed=8), rounds=1, iterations=1,
+    )
+    apartment = run_rssi_map("apartment", 1, seed=8)
+    office = run_rssi_map("office", 1, seed=8)
+    text = "\n\n".join(r.render() for r in (house, apartment, office))
+    publish("fig9_rssi_maps", text)
+    for result in (house, apartment, office):
+        assert result.in_room_fraction_above_threshold() >= 0.9, result.testbed
+        assert result.away_fraction_below_threshold() >= 0.9, result.testbed

@@ -1,0 +1,90 @@
+"""Throughput microbenchmarks of the hot paths.
+
+Unlike the table/figure benches (single-shot experiment regenerations),
+these use pytest-benchmark's statistics to track the per-operation cost
+of the substrate: event dispatch, RSSI evaluation, the length
+classifier, and proxied TCP record delivery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recognition import classify_echo_lengths
+from repro.radio.propagation import PropagationModel
+from repro.radio.testbeds import house_testbed
+from repro.sim.simulator import Simulator
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_propagation_mean_rssi(benchmark):
+    testbed = house_testbed()
+    model = PropagationModel(testbed.plan, seed=1)
+    tx = testbed.speaker_point(0)
+    points = [mp.point for mp in testbed.plan.points.values()]
+
+    def sweep():
+        return sum(model.mean_rssi(tx, p) for p in points)
+
+    benchmark(sweep)
+
+
+def test_classifier_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    spikes = [list(rng.integers(30, 700, size=7)) for _ in range(500)]
+    spikes[::3] = [[277, 138, 131, 73, 113, 50, 50]] * len(spikes[::3])
+
+    def classify_all():
+        return [classify_echo_lengths(s) for s in spikes]
+
+    results = benchmark(classify_all)
+    assert len(results) == 500
+
+
+def test_proxied_tcp_record_throughput(benchmark):
+    from repro.net.addresses import Endpoint, IPv4Address
+    from repro.net.link import Host, Network
+    from repro.net.proxy import TransparentProxy
+    from repro.net.tcp import TcpStack
+    from repro.sim.random import RngHub
+
+    def push_200_records():
+        sim = Simulator()
+        network = Network(sim, RngHub(1))
+        speaker = Host("speaker", IPv4Address("192.168.1.200"))
+        server = Host("server", IPv4Address("54.1.1.1"))
+        network.attach(speaker)
+        network.attach(server)
+        speaker_stack = TcpStack(speaker)
+        server_stack = TcpStack(server)
+        proxy = TransparentProxy("guard", IPv4Address("192.168.1.50"))
+        proxy.install(network, speaker.ip)
+        received = []
+        server_stack.listen(
+            443, lambda c: setattr(c, "on_record", lambda _, p: received.append(p))
+        )
+        conn = speaker_stack.connect(Endpoint(server.ip, 443))
+        sim.run_for(1.0)
+        for seq in range(200):
+            conn.send_record(512, tls_record_seq=seq)
+        sim.run_for(5.0)
+        return len(received)
+
+    assert benchmark(push_200_records) == 200

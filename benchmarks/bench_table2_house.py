@@ -1,0 +1,20 @@
+"""Table II: the RSSI method in the two-floor house (4 cells).
+
+Paper accuracies: 98.75 / 98.34 / 97.48 / 97.32 %, recall ~100 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.rssi_tables import run_rssi_table
+
+
+def test_table2_house(benchmark, publish, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_rssi_table("house", seed=5), rounds=1, iterations=1,
+    )
+    publish("table2_house", result.render() + "\n\n" + result.render_with_paper())
+    from repro.analysis.export import export_table_cells
+    export_table_cells(result, results_dir / "house_cells.csv")
+    for cell in result.cells:
+        assert cell.matrix.accuracy >= 0.93, cell.scenario_name
+        assert cell.matrix.recall >= 0.95, cell.scenario_name

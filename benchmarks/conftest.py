@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered output is printed and also written to ``benchmarks/results/``
+so the artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """``publish(name, text)`` prints and persists a rendered artifact."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _publish

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Section VII extensions: composable decisions + adaptive signatures.
+
+1. The Decision Module is an open framework: this demo composes the
+   built-in RSSI method with a quiet-hours schedule policy (block
+   everything while the home should be empty) using the AllOf
+   combinator.
+2. The Traffic Processing Module can adaptively re-learn the AVS
+   connection signature after a firmware update changes it.
+
+Run:  python examples/extensible_guard.py
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario
+from repro.audio.speech import full_utterance_duration
+from repro.core.decision import DecisionModule
+from repro.core.methods import AllOfMethod, QuietHoursMethod, QuietWindow
+from repro.core.signature_learning import SignatureLearner
+
+
+def main() -> None:
+    scenario = build_scenario(
+        "house", "echo", deployment=0, seed=55,
+        owner_count=1, with_floor_tracking=False,
+    )
+    env, guard, speaker = scenario.env, scenario.guard, scenario.speaker
+    owner = scenario.owners[0]
+    owner.teleport(env.testbed.device_point(5).offset(dz=-1.0))
+
+    # --- 1. compose RSSI proximity with a quiet-hours schedule ---------
+    # Simulated time starts at "midnight"; declare 0:00-2:00 as
+    # quiet hours, so the first command (with the owner RIGHT THERE)
+    # is still blocked by policy, and a later one passes.
+    quiet = QuietHoursMethod(env.sim, [QuietWindow(0.0, 2 * 3600.0)])
+    guard.decision = DecisionModule(AllOfMethod([quiet, guard.rssi_method]))
+    guard.handler.decision = guard.decision
+
+    def say(label: str) -> None:
+        rng = env.rng.stream(label)
+        command = scenario.corpus.sample(rng)
+        duration = full_utterance_duration(command, rng)
+        env.play_utterance(owner.speak(command.text, duration), owner.device_position())
+        env.sim.run_for(duration + 18.0)
+        event = guard.log.commands()[-1]
+        hours = env.sim.now / 3600.0
+        print(f"  t={hours:5.2f}h {label}: verdict {event.verdict.value}")
+
+    print("quiet hours 00:00-02:00; owner next to the speaker both times:")
+    say("during-quiet-hours")
+    env.sim.run_until(2.5 * 3600.0)
+    say("after-quiet-hours")
+    print(f"  schedule blocks so far: {quiet.blocked_by_schedule}")
+
+    # --- 2. adaptive signature learning ---------------------------------
+    learner = SignatureLearner(prefix_length=16, confirmations=2)
+    guard.recognition.signature_learner = learner
+    new_signature = (99, 45, 700, 140, 80, 140, 190, 80,
+                     140, 80, 140, 80, 140, 70, 45, 45)
+    speaker.connect_signature = new_signature
+    print("\nfirmware update changed the AVS connect signature; churning")
+    print("the connection until the guard re-learns it from DNS-confirmed")
+    print("reconnects...")
+    churns = 0
+    while learner.active is None and churns < 15:
+        if speaker._conn is not None and speaker._conn.is_established:
+            speaker._conn.abort("churn")
+        env.sim.run_for(8.0)
+        churns += 1
+    print(f"  re-learned after {churns} reconnects: "
+          f"{learner.active.lengths[:6]}... "
+          f"(confirmed on {learner.active.confirmations} connections)")
+
+    # Prove a silent (no-DNS) reconnect is still tracked.
+    speaker.DNS_REQUERY_PROBABILITY = 0.0
+    speaker._conn.abort("silent")
+    env.sim.run_for(8.0)
+    state = guard.recognition.speaker_state(speaker.ip)
+    print(f"  silent reconnect re-identified via: {state.avs_ip_source} "
+          f"(AVS at {state.avs_ip})")
+    say("post-firmware-update")
+
+
+if __name__ == "__main__":
+    main()

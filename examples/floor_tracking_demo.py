@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Floor-level tracking: defeating the above-speaker RSSI leak.
+
+In the two-floor house, the room directly above the speaker reads
+*above* the RSSI threshold (paper Figure 8a, locations #55-62).  An
+attacker downstairs while the owner is in that room would be accepted
+by proximity alone.  The demo walks the owner upstairs — the stair
+motion sensor fires, her phone records an 8-second RSSI trace, the
+trace classifier reads "up" — and the next attack is vetoed by floor
+level despite a healthy RSSI.
+
+Run:  python examples/floor_tracking_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario
+from repro.attacks.replay import ReplayAttack
+from repro.audio.speech import full_utterance_duration
+
+
+def main() -> None:
+    scenario = build_scenario("house", "echo", deployment=0, seed=27, owner_count=1)
+    env, guard, speaker = scenario.env, scenario.guard, scenario.speaker
+    owner = scenario.owners[0]
+    tracker = guard.floor_tracker
+    phone = scenario.devices[0]
+    print(f"floor estimate for {phone.name}: {tracker.floor_of(phone.name)} "
+          f"(speaker floor: {tracker.speaker_floor})")
+
+    # --- owner walks upstairs into the leak zone ------------------------
+    owner.follow(env.testbed.routes["up"])
+    env.sim.run_for(12.0)  # walk + motion-triggered trace
+    leak_spot = env.testbed.device_point(59).offset(dz=-1.0)  # above speaker
+    owner.teleport(leak_spot)
+    env.sim.run_for(2.0)
+    trace = tracker.trace_events[-1]
+    print(f"stair trace: slope={trace.features.slope:.2f} "
+          f"intercept={trace.features.intercept:.1f} -> {trace.label!r}; "
+          f"floor estimate now {tracker.floor_of(phone.name)}")
+    print(f"phone RSSI from the leak zone: {phone.instant_rssi(env.speaker_beacon):.1f} "
+          f"(threshold {scenario.calibrations[phone.name].threshold:.1f} — above it!)")
+
+    # --- attack downstairs: RSSI would accept, the floor veto blocks ----
+    attacker = ReplayAttack(env, env.rng.stream("attacker"), victim=owner.voiceprint)
+    command = scenario.corpus.sample(env.rng.stream("demo"))
+    duration = full_utterance_duration(command, env.rng.stream("demo"))
+    attacker.launch(command.text, duration, env.testbed.device_point(3))
+    env.sim.run_for(duration + 18.0)
+    event = guard.log.commands()[-1]
+    print(f"\nattack verdict: {event.verdict.value}")
+    reports = [(r.device_name, round(r.sample.rssi, 1)) for r in event.rssi_reports]
+    print(f"RSSI reports during the attack: {reports} — above threshold,")
+    print("but the floor tracker vetoed the proof (owner is upstairs).")
+
+    # --- owner comes back down; her own command works again -------------
+    owner.follow(env.testbed.routes["down"])
+    env.sim.run_for(14.0)
+    owner.teleport(env.testbed.device_point(5).offset(dz=-1.0))
+    env.sim.run_for(2.0)
+    print(f"\nowner walks downstairs; floor estimate: {tracker.floor_of(phone.name)}")
+    command = scenario.corpus.sample(env.rng.stream("demo2"))
+    duration = full_utterance_duration(command, env.rng.stream("demo2"))
+    env.play_utterance(owner.speak(command.text, duration), owner.device_position())
+    env.sim.run_for(duration + 18.0)
+    event = guard.log.commands()[-1]
+    print(f"owner's command verdict: {event.verdict.value}")
+
+    for record in speaker.settle_all():
+        marker = "ATTACK" if record.is_attack else "owner "
+        print(f"  {marker} {record.text[:40]!r:42s} -> {record.outcome.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Multi-user scenario: two residents, two registered phones.
+
+The paper's OR-rule (Section IV-C): a command is legitimate if *at
+least one* registered device proves proximity.  This demo shows a
+command accepted thanks to the second resident while the first is out,
+an attack blocked when both are away, and an attacker's device being
+refused registration.
+
+Run:  python examples/multi_user_home.py
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario
+from repro.attacks.replay import ReplayAttack
+from repro.audio.speech import full_utterance_duration
+from repro.errors import RegistrationError
+
+
+def main() -> None:
+    scenario = build_scenario(
+        "apartment", "echo", deployment=0, seed=12, owner_count=2,
+    )
+    env, guard, speaker = scenario.env, scenario.guard, scenario.speaker
+    alice, bob = scenario.owners
+    print("registered devices:",
+          [(e.name, round(e.threshold, 1)) for e in guard.registry.entries()])
+
+    rng = env.rng.stream("demo")
+    bedroom = env.testbed.device_point(45).offset(dz=-1.0)  # far bedroom
+    living = env.testbed.device_point(8).offset(dz=-1.0)    # speaker's room
+
+    # --- 1. Alice is out; Bob is near: the OR-rule accepts -------------
+    alice.teleport(bedroom)
+    bob.teleport(living)
+    env.sim.run_for(2.0)
+    command = scenario.corpus.sample(rng)
+    duration = full_utterance_duration(command, rng)
+    env.play_utterance(bob.speak(command.text, duration), bob.device_position())
+    env.sim.run_for(duration + 18.0)
+    event = guard.log.commands()[-1]
+    print(f"\nBob speaks with Alice away -> verdict {event.verdict.value}, "
+          f"satisfied by the nearest device "
+          f"(reports: {[(r.device_name, round(r.sample.rssi, 1)) for r in event.rssi_reports]})")
+
+    # --- 2. Both away: a replayed command is blocked -------------------
+    bob.teleport(bedroom.offset(dx=0.5))
+    env.sim.run_for(2.0)
+    attacker = ReplayAttack(env, env.rng.stream("attacker"), victim=alice.voiceprint)
+    attacker.launch(command.text, duration, env.testbed.device_point(8))
+    env.sim.run_for(duration + 18.0)
+    event = guard.log.commands()[-1]
+    print(f"replay with both owners away -> verdict {event.verdict.value}, "
+          f"reports {[(r.device_name, round(r.sample.rssi, 1)) for r in event.rssi_reports]}")
+
+    # --- 3. The attacker cannot register his own phone -----------------
+    mallory = env.add_person("mallory", bedroom, is_owner=False)
+    mallory_phone = env.add_smartphone("mallory-phone", mallory)
+    try:
+        guard.register_device(mallory_phone, threshold=-40.0, approved_by_owner=False)
+    except RegistrationError as error:
+        print(f"\nattacker registration refused: {error}")
+
+    for record in speaker.settle_all():
+        marker = "ATTACK" if record.is_attack else "owner "
+        print(f"  {marker} {record.text[:40]!r:42s} -> {record.outcome.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""VoiceGuard reproduction (DSN 2023).
+
+VoiceGuard detects and blocks unauthorized voice commands to smart
+speakers without touching the speakers' hardware, software, or cloud:
+a transparent network proxy recognizes voice-command traffic from
+encrypted packet metadata and holds it while the owner's phone or
+watch proves proximity through the speaker's Bluetooth RSSI.
+
+Quick start (see ``examples/quickstart.py`` for the full version):
+
+>>> from repro import build_scenario
+>>> scenario = build_scenario("house", "echo", seed=7)
+>>> owner = scenario.owners[0]
+>>> # ... move people around, speak commands, launch attacks ...
+
+Package map
+-----------
+``repro.core``
+    The guard itself: traffic recognition, the traffic handler, the
+    RSSI decision module, the multi-user registry, threshold
+    calibration, and floor-level tracking.
+``repro.net``
+    Simulated home network: TCP/TLS/UDP/DNS, packet capture, and the
+    transparent proxy substrate.
+``repro.speakers``
+    Echo Dot and Google Home Mini traffic models plus their clouds.
+``repro.radio`` / ``repro.home``
+    Bluetooth propagation, the three paper testbeds, people, devices,
+    and the push-notification service.
+``repro.audio``
+    Command corpora, speech pacing, voiceprints, speaker verification.
+``repro.attacks`` / ``repro.baselines``
+    The threat model's attackers and the defenses compared against.
+``repro.experiments``
+    Runners regenerating every table and figure in the paper.
+"""
+
+from repro.core import (
+    DeviceRegistry,
+    SpeakerProfile,
+    TraceClassifier,
+    Verdict,
+    VoiceGuard,
+    VoiceGuardConfig,
+)
+from repro.errors import ReproError
+from repro.experiments import Scenario, SevenDayWorkload, build_scenario
+from repro.home import HomeEnvironment
+from repro.radio import Testbed, testbed_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeviceRegistry",
+    "HomeEnvironment",
+    "ReproError",
+    "Scenario",
+    "SevenDayWorkload",
+    "SpeakerProfile",
+    "Testbed",
+    "TraceClassifier",
+    "Verdict",
+    "VoiceGuard",
+    "VoiceGuardConfig",
+    "__version__",
+    "build_scenario",
+    "testbed_by_name",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``report``      — regenerate every table and figure into one text report
+``table``       — one of table1 | table2 | table3 | table4
+``fig``         — one of 3 | 4 | 6 | 7 | 8 | 9 | 10
+``campaign``    — the multi-home media campaign experiment
+``endurance``   — the hold-endurance sweep
+``demo``        — the quickstart scenario, narrated
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    report = generate_report(scale=args.scale, seed=args.seed)
+    print(report.render())
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(report.render(), encoding="utf-8")
+        print(f"(written to {args.output})")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.which == "table1":
+        from repro.experiments.table1 import run_table1
+
+        print(run_table1(seed=args.seed).render())
+        return 0
+    from repro.experiments.rssi_tables import run_rssi_table
+
+    testbed = {"table2": "house", "table3": "apartment", "table4": "office"}[args.which]
+    result = run_rssi_table(testbed, seed=args.seed, scale=args.scale)
+    print(result.render_with_paper())
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    which = args.which
+    seed = args.seed
+    if which == "3":
+        from repro.experiments.fig3 import run_fig3
+
+        print(run_fig3(seed=seed).render())
+    elif which == "4":
+        from repro.experiments.fig4 import run_fig4
+
+        print(run_fig4(seed=seed).render())
+    elif which == "6":
+        from repro.experiments.fig6 import corpus_report, run_fig6
+
+        print(corpus_report())
+        print(run_fig6("echo", seed=seed).render())
+        print(run_fig6("google", seed=seed).render())
+    elif which == "7":
+        from repro.experiments.fig7 import run_fig7
+
+        for kind in ("echo", "google"):
+            print(run_fig7(kind, seed=seed).render())
+    elif which in ("8", "9"):
+        from repro.experiments.rssi_maps import run_rssi_map
+
+        deployment = 0 if which == "8" else 1
+        for testbed in ("house", "apartment", "office"):
+            print(run_rssi_map(testbed, deployment, seed=seed).render())
+            print()
+    elif which == "10":
+        from repro.experiments.fig10 import run_fig10
+
+        print(run_fig10(seed=seed).render())
+    else:  # pragma: no cover - argparse restricts choices
+        return 2
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import run_campaign
+
+    print(run_campaign(homes=args.homes, seed=args.seed).render())
+    return 0
+
+
+def _cmd_endurance(args: argparse.Namespace) -> int:
+    from repro.experiments.hold_endurance import run_hold_endurance
+
+    print(run_hold_endurance(seed=args.seed).render())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import runpy
+    import pathlib
+
+    quickstart = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if quickstart.exists():
+        runpy.run_path(str(quickstart), run_name="__main__")
+        return 0
+    print("examples/quickstart.py not found; run from a source checkout", file=sys.stderr)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="VoiceGuard (DSN 2023) reproduction toolkit",
+    )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=3)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", parents=[common], help="regenerate everything")
+    report.add_argument("--scale", type=float, default=0.3)
+    report.add_argument("--output", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    table = sub.add_parser("table", parents=[common], help="regenerate one paper table")
+    table.add_argument("which", choices=["table1", "table2", "table3", "table4"])
+    table.add_argument("--scale", type=float, default=1.0)
+    table.set_defaults(func=_cmd_table)
+
+    fig = sub.add_parser("fig", parents=[common], help="regenerate one paper figure")
+    fig.add_argument("which", choices=["3", "4", "6", "7", "8", "9", "10"])
+    fig.set_defaults(func=_cmd_fig)
+
+    campaign = sub.add_parser("campaign", parents=[common],
+                              help="multi-home media campaign")
+    campaign.add_argument("--homes", type=int, default=6)
+    campaign.set_defaults(func=_cmd_campaign)
+
+    endurance = sub.add_parser("endurance", parents=[common],
+                               help="hold-endurance sweep")
+    endurance.set_defaults(func=_cmd_endurance)
+
+    demo = sub.add_parser("demo", parents=[common], help="run the quickstart demo")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

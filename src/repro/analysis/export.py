@@ -1,0 +1,91 @@
+"""CSV export of figure/table data.
+
+Each experiment result can be re-plotted downstream; these writers
+produce tidy CSV files alongside the text renderings (the benchmark
+suite drops them in ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable, List, Sequence, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_csv(path: PathLike, header: Sequence[str], rows: Iterable[Sequence[object]]) -> pathlib.Path:
+    """Write one tidy CSV; returns the resolved path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        count = 0
+        for row in rows:
+            if len(row) != len(header):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} cells, header has {len(header)}"
+                )
+            writer.writerow(list(row))
+            count += 1
+    return target
+
+
+def export_rssi_map(result, path: PathLike) -> pathlib.Path:
+    """Figure 8/9 data: one row per numbered location."""
+    return write_csv(
+        path,
+        ["location", "room", "rssi", "threshold", "legitimate", "leak"],
+        (
+            [r.number, r.room, round(r.rssi, 3), round(result.threshold, 3),
+             r.number in result.legitimate_points, r.number in result.leak_points]
+            for r in result.readings
+        ),
+    )
+
+
+def export_delays(result, path: PathLike) -> pathlib.Path:
+    """Figure 7 data: one row per invocation."""
+    return write_csv(
+        path,
+        ["speaker", "delay_seconds"],
+        ([result.speaker_kind, round(d, 4)] for d in result.delays),
+    )
+
+
+def export_trace_features(result, path: PathLike) -> pathlib.Path:
+    """Figure 10 data: one row per trace (training + held-out)."""
+
+    def rows():
+        for split, source in (("training", result.training), ("test", result.testing)):
+            for route, features in source.items():
+                for f in features:
+                    yield [split, route, round(f.slope, 4), round(f.intercept, 4)]
+
+    return write_csv(path, ["split", "route", "slope", "intercept"], rows())
+
+
+def export_table_cells(table_result, path: PathLike) -> pathlib.Path:
+    """Tables II-IV data: one row per cell with the interval."""
+
+    def rows():
+        for cell in table_result.cells:
+            interval = cell.accuracy_interval()
+            yield [
+                cell.scenario_name,
+                cell.legit_correct, cell.legit_total,
+                cell.malicious_correct, cell.malicious_total,
+                round(cell.matrix.accuracy, 4),
+                round(cell.matrix.precision, 4),
+                round(cell.matrix.recall, 4),
+                round(interval.low, 4), round(interval.high, 4),
+            ]
+
+    return write_csv(
+        path,
+        ["case", "legit_correct", "legit_total", "malicious_correct",
+         "malicious_total", "accuracy", "precision", "recall",
+         "accuracy_ci_low", "accuracy_ci_high"],
+        rows(),
+    )

@@ -1,0 +1,107 @@
+"""Binary classification metrics in the paper's convention.
+
+The paper treats *malicious* commands as the positive class: recall is
+the fraction of attacks blocked, precision the fraction of blocked
+commands that really were attacks, and the legitimate-command errors
+show up as precision loss (Tables II-IV).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BinaryLabel(enum.Enum):
+    """Positive/negative class labels (positive = malicious)."""
+    POSITIVE = "positive"  # malicious / command (class of interest)
+    NEGATIVE = "negative"
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of a binary classifier's outcomes."""
+
+    true_positive: int = 0
+    false_positive: int = 0
+    true_negative: int = 0
+    false_negative: int = 0
+
+    def record(self, actual_positive: bool, predicted_positive: bool) -> None:
+        """Add one (actual, predicted) outcome to the counts."""
+        if actual_positive and predicted_positive:
+            self.true_positive += 1
+        elif actual_positive and not predicted_positive:
+            self.false_negative += 1
+        elif predicted_positive:
+            self.false_positive += 1
+        else:
+            self.true_negative += 1
+
+    # -- totals ------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Number of recorded outcomes."""
+        return (self.true_positive + self.false_positive
+                + self.true_negative + self.false_negative)
+
+    @property
+    def actual_positive(self) -> int:
+        """Ground-truth positives (TP + FN)."""
+        return self.true_positive + self.false_negative
+
+    @property
+    def actual_negative(self) -> int:
+        """Ground-truth negatives (TN + FP)."""
+        return self.true_negative + self.false_positive
+
+    # -- rates ------------------------------------------------------------
+    @property
+    def accuracy(self) -> float:
+        """Fraction of outcomes classified correctly."""
+        if self.total == 0:
+            return float("nan")
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); NaN with no positive predictions."""
+        denominator = self.true_positive + self.false_positive
+        if denominator == 0:
+            return float("nan")
+        return self.true_positive / denominator
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); NaN with no actual positives."""
+        if self.actual_positive == 0:
+            return float("nan")
+        return self.true_positive / self.actual_positive
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        if p != p or r != r or (p + r) == 0:  # NaN-safe
+            return float("nan")
+        return 2 * p * r / (p + r)
+
+    def merged(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        """Element-wise sum with another matrix."""
+        return ConfusionMatrix(
+            self.true_positive + other.true_positive,
+            self.false_positive + other.false_positive,
+            self.true_negative + other.true_negative,
+            self.false_negative + other.false_negative,
+        )
+
+    def render(self) -> str:
+        """Text rendering in the style of the paper's Table I."""
+        lines = [
+            "                  Predicted",
+            "                  Positive  Negative  Total",
+            f"Actual Positive   {self.true_positive:>8}  {self.false_negative:>8}  {self.actual_positive:>5}",
+            f"Actual Negative   {self.false_positive:>8}  {self.true_negative:>8}  {self.actual_negative:>5}",
+            f"Accuracy: {self.accuracy:.2%}  Precision: {self.precision:.2%}  Recall: {self.recall:.2%}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark regenerates its paper table/figure as text; this keeps
+the rendering in one place so the output stays uniform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table with a title rule."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {columns}")
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    ruler = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(cells[0][i].ljust(widths[i]) for i in range(columns)))
+    lines.append(ruler)
+    for row in cells[1:]:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_histogram(title: str, values: Sequence[float], bins: Sequence[float],
+                     width: int = 40) -> str:
+    """ASCII histogram (used for the Figure 7 delay distribution)."""
+    if len(bins) < 2:
+        raise ValueError("need at least two bin edges")
+    counts: List[int] = [0] * (len(bins) - 1)
+    for value in values:
+        for i in range(len(bins) - 1):
+            last = i == len(bins) - 2
+            if bins[i] <= value < bins[i + 1] or (last and value == bins[i + 1]):
+                counts[i] += 1
+                break
+    peak = max(counts) if counts else 1
+    lines = [title, "=" * len(title)]
+    for i, count in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else round(width * count / max(peak, 1)))
+        lines.append(f"[{bins[i]:5.2f}, {bins[i+1]:5.2f})  {count:>4}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Statistical utilities: bootstrap confidence intervals.
+
+The paper reports point estimates from single 7-day runs; the
+reproduction can do better and attach uncertainty.  Used by the table
+benchmarks to report 95 % bootstrap intervals over the per-command
+outcomes of each cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+    @property
+    def width(self) -> float:
+        """Interval width (high - low)."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_interval(
+    outcomes: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap interval of ``statistic`` over ``outcomes``.
+
+    ``outcomes`` is typically a 0/1 vector (command correct / not).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}")
+    values = np.asarray(outcomes, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    estimate = float(statistic(values))
+    if values.size == 1:
+        return ConfidenceInterval(estimate, estimate, estimate, confidence)
+    indices = rng.integers(0, values.size, size=(resamples, values.size))
+    stats = np.asarray([statistic(values[row]) for row in indices])
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(estimate, float(low), float(high), confidence)
+
+
+def accuracy_interval(
+    correct_flags: Sequence[bool],
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap interval for an accuracy-style proportion."""
+    return bootstrap_interval(
+        [1.0 if flag else 0.0 for flag in correct_flags],
+        confidence=confidence,
+        seed=seed,
+    )
+
+
+def proportion_difference_interval(
+    a_flags: Sequence[bool],
+    b_flags: Sequence[bool],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap interval for P(a) - P(b) (e.g. an ablation's effect).
+
+    Each group is resampled independently; the interval excludes zero
+    when the effect is significant at the chosen level.
+    """
+    a = np.asarray([1.0 if f else 0.0 for f in a_flags])
+    b = np.asarray([1.0 if f else 0.0 for f in b_flags])
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both groups need at least one observation")
+    rng = np.random.default_rng(seed)
+    estimate = float(a.mean() - b.mean())
+    diffs = []
+    for _ in range(resamples):
+        diffs.append(
+            float(a[rng.integers(0, a.size, a.size)].mean()
+                  - b[rng.integers(0, b.size, b.size)].mean())
+        )
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(diffs, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(estimate, float(low), float(high), confidence)

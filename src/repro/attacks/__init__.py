@@ -1,0 +1,27 @@
+"""Attacker models (paper Sections II-B and III-B).
+
+Each attacker produces :class:`~repro.audio.voiceprint.VoiceUtterance`
+objects and plays them into the environment from some position.  The
+attacks differ in how they defeat *audio-domain* defenses — replayed
+recordings and cloned voices pass voice-match, inaudible and laser
+injections bypass the microphone's human-audibility assumption, remote
+playback needs no physical presence — but none of them can put the
+owner's phone next to the speaker, which is the invariant VoiceGuard
+checks.
+"""
+
+from repro.attacks.base import Attack, AttackResult
+from repro.attacks.inaudible import InaudibleAttack, LaserAttack
+from repro.attacks.remote import CompromisedPlaybackAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.synthesis import SynthesisAttack
+
+__all__ = [
+    "Attack",
+    "AttackResult",
+    "CompromisedPlaybackAttack",
+    "InaudibleAttack",
+    "LaserAttack",
+    "ReplayAttack",
+    "SynthesisAttack",
+]

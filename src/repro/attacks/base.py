@@ -1,0 +1,47 @@
+"""Attack interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.audio.voiceprint import VoiceUtterance
+from repro.home.environment import HomeEnvironment
+from repro.radio.geometry import Point
+
+
+@dataclass
+class AttackResult:
+    """What happened when an attack was launched."""
+
+    utterance: VoiceUtterance
+    launched_at: float
+    heard_by_speaker: bool
+
+
+class Attack:
+    """Base class: an attacker who can produce and play attack audio."""
+
+    name = "attack"
+
+    def __init__(self, env: HomeEnvironment, rng: np.random.Generator) -> None:
+        self.env = env
+        self.rng = rng
+        self.results: list = []
+
+    def craft(self, text: str, duration: float) -> VoiceUtterance:
+        """Produce the attack utterance for ``text``."""
+        raise NotImplementedError
+
+    def launch(self, text: str, duration: float, position: Point) -> AttackResult:
+        """Play the attack audio at ``position`` right now."""
+        utterance = self.craft(text, duration)
+        heard = self.env.play_utterance(utterance, position)
+        result = AttackResult(
+            utterance=utterance,
+            launched_at=self.env.sim.now,
+            heard_by_speaker=heard,
+        )
+        self.results.append(result)
+        return result

@@ -1,0 +1,38 @@
+"""Voice-synthesis (cloning) attack.
+
+With a handful of the victim's samples, the attacker trains a TTS
+model that speaks *arbitrary* commands in the victim's voice — the
+attack that defeats voice-match even for commands the owner never
+spoke (Sections I and III-B, citing De Leon et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack
+from repro.audio.voiceprint import VoicePrint, VoiceUtterance, synthesized_as
+from repro.home.environment import HomeEnvironment
+
+
+class SynthesisAttack(Attack):
+    """Synthesizes arbitrary commands in the victim's voice."""
+
+    name = "synthesis"
+
+    def __init__(
+        self,
+        env: HomeEnvironment,
+        rng: np.random.Generator,
+        victim: VoicePrint,
+        samples_collected: int = 5,
+    ) -> None:
+        super().__init__(env, rng)
+        self.victim = victim
+        # More collected samples means a tighter clone; the effect is
+        # modelled as already folded into the synthesis artifact noise.
+        self.samples_collected = samples_collected
+
+    def craft(self, text: str, duration: float) -> VoiceUtterance:
+        """Clone the victim's voice saying ``text``."""
+        return synthesized_as(self.victim, text, duration, self.rng)

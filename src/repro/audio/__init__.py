@@ -1,0 +1,48 @@
+"""Voice-command and audio-domain substrate.
+
+VoiceGuard itself never analyzes audio — that is its point — but the
+evaluation needs audio-domain machinery anyway:
+
+* :mod:`repro.audio.commands` — realistic Alexa/Google command corpora
+  with the word-count statistics the paper measured via its web crawler
+  (Alexa: 320 commands, mean 5.95 words, 86.8 % with >= 4 words;
+  Google: 443 commands, mean 7.39 words, 93.9 % with >= 5 words);
+* :mod:`repro.audio.speech` — speaking-duration model at the paper's
+  2 words/second pace, used to decide whether an RSSI query finishes
+  while the user is still talking (Figure 6);
+* :mod:`repro.audio.voiceprint` — synthetic speaker embeddings for
+  utterances, with replay/synthesis transformations;
+* :mod:`repro.audio.verification` — the voice-match baseline (the
+  protection built into commercial speakers) that replay and synthesis
+  attacks bypass, motivating VoiceGuard.
+"""
+
+from repro.audio.commands import (
+    ALEXA_CORPUS_SIZE,
+    GOOGLE_CORPUS_SIZE,
+    CommandCorpus,
+    VoiceCommand,
+    alexa_corpus,
+    corpus_statistics,
+    google_corpus,
+)
+from repro.audio.speech import SPEECH_WORDS_PER_SECOND, speaking_duration
+from repro.audio.verification import VerificationResult, VoiceMatchVerifier
+from repro.audio.voiceprint import UtteranceSource, VoicePrint, VoiceUtterance
+
+__all__ = [
+    "ALEXA_CORPUS_SIZE",
+    "GOOGLE_CORPUS_SIZE",
+    "CommandCorpus",
+    "SPEECH_WORDS_PER_SECOND",
+    "UtteranceSource",
+    "VerificationResult",
+    "VoiceCommand",
+    "VoiceMatchVerifier",
+    "VoicePrint",
+    "VoiceUtterance",
+    "alexa_corpus",
+    "corpus_statistics",
+    "google_corpus",
+    "speaking_duration",
+]

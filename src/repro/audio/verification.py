@@ -1,0 +1,127 @@
+"""Voice-match speaker verification (the commercial baseline).
+
+Commercial smart speakers can be trained to recognize their owners'
+voices during setup; the paper's threat model (Section III-B) assumes —
+following the literature it cites — that replayed or synthesized owner
+audio *passes* this check.  The verifier here reproduces that security
+property: it enrolls a speaker from a handful of live samples and
+scores new utterances by cosine similarity against the enrolled
+centroid, which separates *different humans* well but cannot separate
+the owner's live voice from a replay or a good clone of it (the
+embeddings are, by construction of the threat model, nearly identical).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.audio.voiceprint import VoicePrint, VoiceUtterance
+
+# Calibrated so that a different human is rejected but anything
+# carrying the owner's voiceprint — live, replayed, or synthesized —
+# is accepted, reproducing the vulnerability the paper exploits.
+DEFAULT_ACCEPT_THRESHOLD = 0.78
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of scoring one utterance."""
+
+    score: float
+    accepted: bool
+    enrolled_speaker: str
+
+
+class VoiceMatchVerifier:
+    """Centroid + cosine-similarity speaker verification.
+
+    This stands in for the GMM/i-vector verifiers cited by the paper;
+    at the embedding level they share the decision geometry that
+    matters here: acceptance is a similarity threshold around the
+    enrolled identity, so any audio that *carries the owner's identity*
+    — live, replayed, or cloned — is accepted.
+    """
+
+    def __init__(self, accept_threshold: float = DEFAULT_ACCEPT_THRESHOLD) -> None:
+        if not 0.0 < accept_threshold < 1.0:
+            raise ValueError(f"accept threshold must be in (0, 1), got {accept_threshold!r}")
+        self.accept_threshold = accept_threshold
+        self._centroid: Optional[np.ndarray] = None
+        self._speaker_name: Optional[str] = None
+
+    @property
+    def enrolled(self) -> bool:
+        """Whether a speaker has been enrolled."""
+        return self._centroid is not None
+
+    def enroll(
+        self,
+        voiceprint: VoicePrint,
+        rng: np.random.Generator,
+        sample_count: int = 5,
+    ) -> None:
+        """Enroll a speaker from ``sample_count`` live samples."""
+        if sample_count < 1:
+            raise ValueError(f"enrollment needs at least one sample, got {sample_count!r}")
+        samples = [voiceprint.observe(rng) for _ in range(sample_count)]
+        centroid = np.mean(samples, axis=0)
+        self._centroid = centroid / np.linalg.norm(centroid)
+        self._speaker_name = voiceprint.speaker_name
+
+    def enroll_from_samples(self, speaker_name: str, samples: Sequence[np.ndarray]) -> None:
+        """Enroll directly from embedding samples (used by attackers who
+        collected the victim's audio)."""
+        if not samples:
+            raise ValueError("enrollment needs at least one sample")
+        centroid = np.mean(np.asarray(samples), axis=0)
+        self._centroid = centroid / np.linalg.norm(centroid)
+        self._speaker_name = speaker_name
+
+    def score(self, utterance: VoiceUtterance) -> float:
+        """Cosine similarity between the utterance and the enrollment."""
+        if self._centroid is None:
+            raise RuntimeError("verifier has no enrolled speaker")
+        if utterance.embedding is None:
+            # Inaudible/laser injections carry no voice at all; they can
+            # only pass if voice match is disabled.
+            return -1.0
+        return float(np.dot(self._centroid, utterance.embedding))
+
+    def verify(self, utterance: VoiceUtterance) -> VerificationResult:
+        """Score an utterance and apply the accept threshold."""
+        score = self.score(utterance)
+        assert self._speaker_name is not None
+        return VerificationResult(
+            score=score,
+            accepted=score >= self.accept_threshold,
+            enrolled_speaker=self._speaker_name,
+        )
+
+    def equal_error_threshold(
+        self,
+        genuine_scores: List[float],
+        impostor_scores: List[float],
+    ) -> float:
+        """Threshold where false-accept and false-reject rates cross.
+
+        Utility for calibration experiments; operates on score lists
+        the caller produced.
+        """
+        if not genuine_scores or not impostor_scores:
+            raise ValueError("need both genuine and impostor scores")
+        candidates = sorted(set(genuine_scores) | set(impostor_scores))
+        best_threshold = candidates[0]
+        best_gap = float("inf")
+        genuine = np.asarray(genuine_scores)
+        impostor = np.asarray(impostor_scores)
+        for threshold in candidates:
+            frr = float(np.mean(genuine < threshold))
+            far = float(np.mean(impostor >= threshold))
+            gap = abs(frr - far)
+            if gap < best_gap:
+                best_gap = gap
+                best_threshold = threshold
+        return float(best_threshold)

@@ -1,0 +1,95 @@
+"""Firewall baseline: block by dropping instead of holding.
+
+The paper contrasts its transparent proxy with "methods such as
+firewalls and network filters that break the connection and require
+users to repeat a voice command" (Section I).  This tap implements
+that blunt approach: while a decision is pending it silently *drops*
+the speaker's data packets.  Nothing ACKs them, so the speaker's TCP
+retransmits, stalls, and — for blocked commands — eventually aborts
+the connection.  Legitimate commands survive only through seconds of
+retransmission delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.net.addresses import IPv4Address
+from repro.net.link import TapHost
+from repro.net.packet import Packet, Protocol
+
+# decide(callback): invoke callback(True) for legitimate traffic.
+DecideFunction = Callable[[Callable[[bool], None]], None]
+
+
+class FirewallTap(TapHost):
+    """Inline packet filter with drop-while-deciding semantics."""
+
+    IDLE_GAP = 2.5
+    BLOCK_DURATION = 30.0
+
+    def __init__(
+        self,
+        name: str,
+        ip: IPv4Address,
+        covered: Set[IPv4Address],
+        decide: Optional[DecideFunction] = None,
+    ) -> None:
+        super().__init__(name, ip)
+        self.covered = set(covered)
+        self.decide = decide
+        self._state = "idle"  # idle | deciding | blocking
+        self._blocking_until = 0.0
+        self._last_data_time: Optional[float] = None
+        self.packets_dropped = 0
+        self.packets_bridged = 0
+        self.decisions_started = 0
+
+    def intercept(self, packet: Packet) -> None:
+        """Drop, pass, or gate one tapped packet per the filter state."""
+        now = self.network.sim.now
+        if not self._is_client_data(packet):
+            self.packets_bridged += 1
+            self.bridge(packet)
+            return
+
+        if self._state == "blocking":
+            if now < self._blocking_until:
+                self.packets_dropped += 1
+                return
+            self._state = "idle"
+
+        if self._state == "idle" and self._spike_starts(now):
+            self._state = "deciding"
+            self.decisions_started += 1
+            if self.decide is not None:
+                self.decide(self._on_verdict)
+        self._last_data_time = now
+
+        if self._state == "deciding":
+            # No transparent proxy: the packet is simply gone.  The
+            # speaker's TCP will retransmit it and, if the stall lasts,
+            # abort the session.
+            self.packets_dropped += 1
+            return
+        self.packets_bridged += 1
+        self.bridge(packet)
+
+    def _on_verdict(self, legitimate: bool) -> None:
+        if legitimate:
+            self._state = "idle"
+        else:
+            self._state = "blocking"
+            self._blocking_until = self.network.sim.now + self.BLOCK_DURATION
+
+    def _is_client_data(self, packet: Packet) -> bool:
+        if packet.src.ip not in self.covered:
+            return False
+        if packet.protocol is Protocol.UDP:
+            return packet.dst.port == 443
+        return packet.payload_len > 0
+
+    def _spike_starts(self, now: float) -> bool:
+        if self._last_data_time is None:
+            return True
+        return (now - self._last_data_time) > self.IDLE_GAP

@@ -1,0 +1,52 @@
+"""The naive spike detector (paper Figure 3's strawman).
+
+"Whenever there is a traffic spike after a no-traffic period, the Echo
+Dot receives a voice command."  Correct for the command spike ① but
+also fires on the response spikes ③④⑤, making the Traffic Handler
+hold response traffic and delay the speaker's spoken answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.events import TrafficClass
+
+
+@dataclass
+class SpikeVerdict:
+    """The naive detector's call on one spike."""
+
+    spike_index: int
+    classification: TrafficClass
+    would_hold: bool
+
+
+class NaiveSpikeDetector:
+    """Classifies every post-idle spike as a command."""
+
+    name = "naive-spike"
+
+    def classify_spike(self, lengths: Sequence[int]) -> TrafficClass:
+        """Any spike is a command — lengths are ignored by design."""
+        return TrafficClass.COMMAND
+
+    def evaluate_interaction(self, spikes: Sequence[Sequence[int]]) -> List[SpikeVerdict]:
+        """Judge each spike of one interaction (spike 0 is the real
+        command; the rest are response spikes)."""
+        verdicts = []
+        for index, lengths in enumerate(spikes):
+            classification = self.classify_spike(lengths)
+            verdicts.append(SpikeVerdict(
+                spike_index=index,
+                classification=classification,
+                would_hold=classification is TrafficClass.COMMAND,
+            ))
+        return verdicts
+
+    def unnecessary_holds(self, spikes: Sequence[Sequence[int]]) -> int:
+        """Response spikes this detector would needlessly hold."""
+        return sum(
+            1 for verdict in self.evaluate_interaction(spikes)[1:] if verdict.would_hold
+        )

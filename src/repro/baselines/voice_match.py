@@ -1,0 +1,65 @@
+"""Voice-match-only defense: the commercial speakers' protection.
+
+The speaker is trained on the owner's voice during setup and refuses
+commands whose voice does not match.  It stops a *guest speaking in his
+own voice*, but replayed and synthesized owner audio carries the
+owner's voiceprint and passes — the gap that motivates VoiceGuard
+(Sections I and II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.audio.verification import DEFAULT_ACCEPT_THRESHOLD, VoiceMatchVerifier
+from repro.audio.voiceprint import UtteranceSource, VoicePrint, VoiceUtterance
+
+
+@dataclass
+class DefenseOutcome:
+    """Aggregated accept/block counts per utterance source."""
+
+    accepted: Dict[str, int] = field(default_factory=dict)
+    blocked: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, source: UtteranceSource, accepted: bool) -> None:
+        """Count one accept/block outcome for a source class."""
+        bucket = self.accepted if accepted else self.blocked
+        bucket[source.value] = bucket.get(source.value, 0) + 1
+
+    def accept_rate(self, source: UtteranceSource) -> float:
+        """Accepted fraction for a source class (NaN if unseen)."""
+        a = self.accepted.get(source.value, 0)
+        b = self.blocked.get(source.value, 0)
+        if a + b == 0:
+            return float("nan")
+        return a / (a + b)
+
+
+class VoiceMatchDefense:
+    """A standalone voice-match gate for baseline experiments."""
+
+    name = "voice-match"
+
+    def __init__(self, accept_threshold: float = DEFAULT_ACCEPT_THRESHOLD) -> None:
+        self.verifier = VoiceMatchVerifier(accept_threshold)
+        self.outcome = DefenseOutcome()
+
+    def enroll_owner(self, owner: VoicePrint, rng: np.random.Generator) -> None:
+        """Enroll the owner's voiceprint from live samples."""
+        self.verifier.enroll(owner, rng)
+
+    def admits(self, utterance: VoiceUtterance) -> bool:
+        """Would the speaker execute this utterance?"""
+        accepted = self.verifier.verify(utterance).accepted
+        self.outcome.record(utterance.source, accepted)
+        return accepted
+
+    def evaluate(self, utterances: List[VoiceUtterance]) -> DefenseOutcome:
+        """Run a batch of utterances through the gate."""
+        for utterance in utterances:
+            self.admits(utterance)
+        return self.outcome

@@ -1,0 +1,47 @@
+"""VoiceGuard configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class VoiceGuardConfig:
+    """Tunable parameters of the guard.
+
+    Defaults follow the paper: a spike after ~2.5 s of (non-heartbeat)
+    silence opens a new recognition window; classification needs at
+    most seven packets; a held command is dropped if no device proves
+    proximity before ``decision_timeout``.
+    """
+
+    # Traffic recognition.
+    idle_gap: float = 2.5  # seconds of app-data silence that ends a spike
+    classification_timeout: float = 0.6  # give up waiting for more packets
+    classification_max_packets: int = 7
+    heartbeat_len: int = 41  # ignored for spike detection
+
+    # Decision.
+    decision_timeout: float = 5.0  # no reply from any device -> timeout verdict
+    fail_open: bool = False  # on timeout: True = release, False = drop
+    rssi_margin: float = 0.0  # extra slack subtracted from thresholds
+
+    # Floor tracking.
+    floor_tracking: bool = True  # only effective on multi-floor testbeds
+
+    # Safety bound: never hold a flow longer than this, whatever happens.
+    max_hold: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.idle_gap <= 0:
+            raise ConfigError(f"idle_gap must be positive, got {self.idle_gap!r}")
+        if self.classification_timeout <= 0:
+            raise ConfigError("classification_timeout must be positive")
+        if self.classification_max_packets < 2:
+            raise ConfigError("classification needs at least 2 packets")
+        if self.decision_timeout <= 0:
+            raise ConfigError("decision_timeout must be positive")
+        if self.max_hold < self.decision_timeout:
+            raise ConfigError("max_hold must be at least decision_timeout")

@@ -1,0 +1,183 @@
+"""The Decision Module: a pluggable legitimacy-check framework.
+
+The paper's Decision Module "is designed to have a flexible framework
+that can utilize various methods to check the legitimacy of a voice
+command" (Section IV-C); its current method is Bluetooth-RSSI
+proximity.  :class:`DecisionMethod` is the plug-in interface;
+:class:`RssiDecisionMethod` implements the paper's method including the
+multi-user OR-rule and the floor-level veto.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.registry import DeviceRegistry, RegisteredDevice
+from repro.home.push import PushService, RssiReport
+from repro.radio.bluetooth import BluetoothBeacon
+from repro.sim.simulator import Simulator
+
+
+class Verdict(enum.Enum):
+    """Decision about one held voice command."""
+
+    LEGITIMATE = "legitimate"
+    MALICIOUS = "malicious"
+    TIMEOUT = "timeout"  # no device answered in time
+
+
+@dataclass
+class DecisionContext:
+    """What the Decision Module knows about the pending command."""
+
+    window_id: int
+    speaker_ip: str
+    requested_at: float
+
+
+@dataclass
+class DecisionResult:
+    """Verdict plus the evidence behind it."""
+
+    verdict: Verdict
+    reports: List[RssiReport] = field(default_factory=list)
+    satisfied_by: Optional[str] = None  # device that proved proximity
+    floor_vetoed: List[str] = field(default_factory=list)
+
+    @property
+    def legitimate(self) -> bool:
+        """Whether the verdict allows the command."""
+        return self.verdict is Verdict.LEGITIMATE
+
+
+DecisionCallback = Callable[[DecisionResult], None]
+FloorCheck = Callable[[str], bool]  # device name -> on speaker's floor?
+
+
+class DecisionMethod:
+    """Interface for legitimacy-check methods."""
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Asynchronously decide; ``callback(result)`` exactly once."""
+        raise NotImplementedError
+
+
+class RssiDecisionMethod(DecisionMethod):
+    """The paper's Bluetooth-RSSI proximity method (Figure 5).
+
+    On a query, push an RSSI-measurement request to every registered
+    device simultaneously; the command is legitimate as soon as one
+    device reports RSSI above its threshold *and* passes the floor
+    check.  If every device has answered below threshold the command is
+    malicious; if nothing answers before the timeout, the verdict is
+    TIMEOUT (policy decides what that means).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        push: PushService,
+        registry: DeviceRegistry,
+        beacon: BluetoothBeacon,
+        timeout: float = 5.0,
+        rssi_margin: float = 0.0,
+        floor_check: Optional[FloorCheck] = None,
+    ) -> None:
+        self.sim = sim
+        self.push = push
+        self.registry = registry
+        self.beacon = beacon
+        self.timeout = timeout
+        self.rssi_margin = rssi_margin
+        self.floor_check = floor_check
+        self.queries_issued = 0
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Query all registered devices; legitimate on the first satisfying report."""
+        entries = self.registry.entries()
+        if not entries:
+            # No registered users: everything is treated as malicious,
+            # mirroring a guard that has not been enrolled yet.
+            callback(DecisionResult(verdict=Verdict.MALICIOUS))
+            return
+        self.queries_issued += 1
+        state = _QueryState(expected=len(entries))
+
+        def finish(result: DecisionResult) -> None:
+            if state.done:
+                return
+            state.done = True
+            state.deadline.cancel()
+            callback(result)
+
+        def on_report(report: RssiReport) -> None:
+            if state.done:
+                return
+            state.reports.append(report)
+            entry = self._entry_for(report.device_name)
+            if entry is not None and self._satisfies(entry, report, state):
+                finish(DecisionResult(
+                    verdict=Verdict.LEGITIMATE,
+                    reports=list(state.reports),
+                    satisfied_by=report.device_name,
+                    floor_vetoed=list(state.floor_vetoed),
+                ))
+                return
+            if len(state.reports) >= state.expected:
+                finish(DecisionResult(
+                    verdict=Verdict.MALICIOUS,
+                    reports=list(state.reports),
+                    floor_vetoed=list(state.floor_vetoed),
+                ))
+
+        def on_timeout() -> None:
+            verdict = Verdict.TIMEOUT if not state.reports else Verdict.MALICIOUS
+            finish(DecisionResult(
+                verdict=verdict,
+                reports=list(state.reports),
+                floor_vetoed=list(state.floor_vetoed),
+            ))
+
+        state.deadline = self.sim.schedule(self.timeout, on_timeout)
+        self.push.request_group([e.device for e in entries], self.beacon, on_report)
+
+    def _entry_for(self, device_name: str) -> Optional[RegisteredDevice]:
+        if device_name in self.registry:
+            return self.registry.get(device_name)
+        return None
+
+    def _satisfies(self, entry: RegisteredDevice, report: RssiReport, state: "_QueryState") -> bool:
+        if report.sample.rssi < entry.threshold - self.rssi_margin:
+            return False
+        if self.floor_check is not None and not self.floor_check(entry.name):
+            # Above threshold but on the wrong floor: the leak case the
+            # floor tracker exists to veto (Section V-B2).
+            state.floor_vetoed.append(entry.name)
+            return False
+        return True
+
+
+class _QueryState:
+    __slots__ = ("expected", "reports", "floor_vetoed", "done", "deadline")
+
+    def __init__(self, expected: int) -> None:
+        self.expected = expected
+        self.reports: List[RssiReport] = []
+        self.floor_vetoed: List[str] = []
+        self.done = False
+        self.deadline = None
+
+
+class DecisionModule:
+    """Holds the active method; the extensibility point of Section VII."""
+
+    def __init__(self, method: DecisionMethod) -> None:
+        self.method = method
+        self.decisions_made = 0
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Delegate to the active method."""
+        self.decisions_made += 1
+        self.method.decide(context, callback)

@@ -1,0 +1,149 @@
+"""The VoiceGuard façade: assembles and wires every sub-module.
+
+Typical usage (see ``examples/quickstart.py`` for a full scenario):
+
+.. code-block:: python
+
+    guard = VoiceGuard(env, network, guard_ip)
+    guard.protect(echo_dot, SpeakerProfile.ECHO)
+    guard.register_device(phone, threshold=-8.0)
+    guard.enable_floor_tracking(motion_sensor, trained_classifier)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import VoiceGuardConfig
+from repro.core.decision import DecisionModule, RssiDecisionMethod
+from repro.core.events import CommandEvent, GuardLog
+from repro.core.floor import FloorLevelTracker, TraceClassifier
+from repro.core.handler import TrafficHandler
+from repro.core.recognition import SpeakerProfile, TrafficRecognition
+from repro.core.registry import DeviceRegistry
+from repro.home.devices import MobileDevice, MotionSensor
+from repro.home.environment import HomeEnvironment
+from repro.net.addresses import IPv4Address
+from repro.net.link import Network
+from repro.net.proxy import TransparentProxy, UdpForwarder
+from repro.speakers.base import SmartSpeaker
+
+
+class VoiceGuard:
+    """The deployed guard: proxy + recognizer + handler + decision."""
+
+    def __init__(
+        self,
+        env: HomeEnvironment,
+        network: Network,
+        guard_ip: IPv4Address,
+        config: Optional[VoiceGuardConfig] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.config = config or VoiceGuardConfig()
+        self.log = GuardLog()
+
+        self.proxy = TransparentProxy("voiceguard", guard_ip)
+        network.attach(self.proxy)
+        self.udp_forwarder: Optional[UdpForwarder] = None
+
+        self.registry = DeviceRegistry()
+        self.floor_tracker: Optional[FloorLevelTracker] = None
+
+        self.recognition = TrafficRecognition(env.sim, self.config, self.log)
+        self.rssi_method = RssiDecisionMethod(
+            sim=env.sim,
+            push=env.push,
+            registry=self.registry,
+            beacon=env.speaker_beacon,
+            timeout=self.config.decision_timeout,
+            rssi_margin=self.config.rssi_margin,
+            floor_check=self._floor_ok,
+        )
+        self.decision = DecisionModule(self.rssi_method)
+        self.handler = TrafficHandler(
+            sim=env.sim,
+            config=self.config,
+            proxy=self.proxy,
+            udp_forwarder=None,
+            decision=self.decision,
+        )
+
+        # Wiring: tapped packets -> recognizer -> handler -> proxy queues.
+        self.proxy.record_policy = self.recognition.observe
+        self.proxy.add_snooper(self.recognition.observe_snoop)
+        self.recognition.on_classified = self.handler.on_window_classified
+
+        self._protected: Dict[IPv4Address, SpeakerProfile] = {}
+
+    # -- deployment ---------------------------------------------------------
+    def protect(self, speaker: SmartSpeaker, profile: SpeakerProfile) -> None:
+        """Interpose on ``speaker``'s traffic and recognize its grammar."""
+        self.network.install_tap(speaker.ip, self.proxy)
+        self.recognition.add_speaker(speaker.ip, profile)
+        self._protected[speaker.ip] = profile
+        if profile is SpeakerProfile.GOOGLE:
+            if self.udp_forwarder is None:
+                self.udp_forwarder = UdpForwarder(self.proxy, speaker.ip)
+                self.handler.udp_forwarder = self.udp_forwarder
+            else:
+                self.udp_forwarder.add_covered(speaker.ip)
+
+    def register_device(
+        self,
+        device: MobileDevice,
+        threshold: float,
+        approved_by_owner: bool = True,
+    ) -> None:
+        """Enroll a legitimate user's phone/watch with its threshold."""
+        self.registry.register(device, threshold, approved_by_owner=approved_by_owner)
+        if self.floor_tracker is not None:
+            self.floor_tracker.track(device)
+
+    def enable_floor_tracking(
+        self,
+        sensor: MotionSensor,
+        classifier: TraceClassifier,
+        initial_floors: Optional[Dict[str, int]] = None,
+    ) -> FloorLevelTracker:
+        """Attach the stair motion sensor and trace classifier."""
+        tracker = FloorLevelTracker(
+            sim=self.env.sim,
+            beacon=self.env.speaker_beacon,
+            classifier=classifier,
+            speaker_floor=self.env.speaker_floor,
+            floor_count=self.env.testbed.plan.floor_count,
+        )
+        for entry in self.registry.entries():
+            floor = (initial_floors or {}).get(entry.name)
+            tracker.track(entry.device, initial_floor=floor)
+        sensor.on_motion = tracker.on_motion
+        self.floor_tracker = tracker
+        return tracker
+
+    def _floor_ok(self, device_name: str) -> bool:
+        if not self.config.floor_tracking or self.floor_tracker is None:
+            return True
+        return self.floor_tracker.floor_ok(device_name)
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def events(self) -> List[CommandEvent]:
+        """A copy of every logged window event."""
+        return list(self.log.events)
+
+    def command_events(self) -> List[CommandEvent]:
+        """Logged events classified as commands."""
+        return self.log.commands()
+
+    def summary(self) -> Dict[str, float]:
+        """Counters: windows, commands, released, blocked."""
+        commands = self.log.commands()
+        return {
+            "windows": float(len(self.log)),
+            "commands": float(len(commands)),
+            "released": float(self.handler.commands_released),
+            "blocked": float(self.handler.commands_blocked),
+            "benign_released": float(self.handler.benign_windows_released),
+        }

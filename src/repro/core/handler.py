@@ -1,0 +1,124 @@
+"""The Traffic Handler sub-module (paper Section IV-B2).
+
+Acts on the recognizer's classifications: a *command* window stays held
+while the Decision Module is queried, then its records are released to
+the cloud (legitimate) or discarded (malicious); *response*/*unknown*
+windows are released immediately, keeping the user-visible delay of a
+mis-suspected spike to a few packets' worth of time.
+
+Discarded records leave the speaker's next forwarded record out of TLS
+sequence, so the cloud closes the session — the command can never
+execute, the paper's Figure 4 case III.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import VoiceGuardConfig
+from repro.core.decision import DecisionContext, DecisionModule, DecisionResult, Verdict
+from repro.core.events import TrafficClass
+from repro.core.recognition import Window
+from repro.net.packet import Protocol
+from repro.net.proxy import ProxiedFlow, TransparentProxy, UdpForwarder
+from repro.sim.simulator import Simulator
+
+
+class TrafficHandler:
+    """Resolves windows: release or discard their held records."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: VoiceGuardConfig,
+        proxy: TransparentProxy,
+        udp_forwarder: Optional[UdpForwarder],
+        decision: DecisionModule,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.proxy = proxy
+        self.udp_forwarder = udp_forwarder
+        self.decision = decision
+        self.commands_released = 0
+        self.commands_blocked = 0
+        self.benign_windows_released = 0
+
+    # -- recognizer callback ------------------------------------------------
+    def on_window_classified(self, window: Window, classification: TrafficClass) -> None:
+        """Recognizer callback: release benign windows, query commands."""
+        if classification is TrafficClass.COMMAND:
+            self._query_decision(window)
+        else:
+            # Response or unknown spike: let it through immediately.
+            self.benign_windows_released += 1
+            self._release(window)
+
+    # -- decision plumbing -----------------------------------------------------
+    def _query_decision(self, window: Window) -> None:
+        context = DecisionContext(
+            window_id=window.window_id,
+            speaker_ip=str(window.speaker_ip),
+            requested_at=self.sim.now,
+        )
+
+        def on_result(result: DecisionResult) -> None:
+            if window.resolved:
+                return  # the max-hold failsafe beat us to it
+            if window.event is not None:
+                window.event.verdict = result.verdict
+                window.event.verdict_at = self.sim.now
+                window.event.rssi_reports = list(result.reports)
+            if result.verdict is Verdict.LEGITIMATE:
+                self.commands_released += 1
+                self._release(window)
+            elif result.verdict is Verdict.MALICIOUS:
+                self.commands_blocked += 1
+                self._discard(window)
+            else:  # TIMEOUT
+                if self.config.fail_open:
+                    self.commands_released += 1
+                    self._release(window)
+                else:
+                    self.commands_blocked += 1
+                    self._discard(window)
+
+        def failsafe() -> None:
+            # Never hold a flow past max_hold, whatever went wrong.
+            if not window.resolved:
+                if self.config.fail_open:
+                    self._release(window)
+                else:
+                    self._discard(window)
+
+        self.sim.schedule(self.config.max_hold, failsafe)
+        self.decision.decide(context, on_result)
+
+    # -- actuation ------------------------------------------------------------
+    def _release(self, window: Window) -> None:
+        count = self._release_flow(window.flow)
+        window.released = True
+        if window.event is not None:
+            window.event.released_at = self.sim.now
+            window.event.held_records += count
+
+    def _discard(self, window: Window) -> None:
+        count = self._discard_flow(window.flow)
+        window.discarded = True
+        if window.event is not None:
+            window.event.discarded_at = self.sim.now
+            window.event.held_records += count
+
+    def _release_flow(self, flow: ProxiedFlow) -> int:
+        if flow.protocol is Protocol.UDP:
+            if self.udp_forwarder is None:
+                return 0
+            return self.udp_forwarder.release_held(flow)
+        return self.proxy.release_held(flow)
+
+    def _discard_flow(self, flow: ProxiedFlow) -> int:
+        if flow.protocol is Protocol.UDP:
+            if self.udp_forwarder is None:
+                return 0
+            return self.udp_forwarder.discard_held(flow)
+        return self.proxy.discard_held(flow)

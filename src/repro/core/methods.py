@@ -1,0 +1,197 @@
+"""Additional decision methods and combinators (paper Section VII).
+
+The paper stresses that the Decision Module "has an open and extensible
+framework so that other approaches ... can be easily integrated".
+This module provides that extensibility surface:
+
+* :class:`AllOfMethod` / :class:`AnyOfMethod` — combinators that query
+  sub-methods concurrently and combine their verdicts;
+* :class:`QuietHoursMethod` — a schedule policy (block everything while
+  the home is vacant, e.g. working hours or vacations);
+* :class:`AllowListMethod` — a static presence override for users
+  without a phone (e.g. "always allow while the guard is in demo
+  mode"), mainly useful in tests and as an integration template.
+
+Each method keeps the same asynchronous contract as the built-in RSSI
+method, so any of them (or user-defined ones) can be dropped into
+:class:`~repro.core.decision.DecisionModule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.decision import (
+    DecisionCallback,
+    DecisionContext,
+    DecisionMethod,
+    DecisionResult,
+    Verdict,
+)
+from repro.errors import ConfigError
+from repro.sim.simulator import Simulator
+
+
+class AllowListMethod(DecisionMethod):
+    """Accepts or rejects everything, per a switchable flag."""
+
+    def __init__(self, allow: bool = True) -> None:
+        self.allow = allow
+        self.decisions = 0
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Answer immediately with the configured verdict."""
+        self.decisions += 1
+        verdict = Verdict.LEGITIMATE if self.allow else Verdict.MALICIOUS
+        callback(DecisionResult(verdict=verdict))
+
+
+@dataclass(frozen=True)
+class QuietWindow:
+    """A daily time window (seconds since local midnight)."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end <= 86400:
+            raise ConfigError(f"invalid quiet window [{self.start}, {self.end}]")
+
+    def covers(self, seconds_of_day: float) -> bool:
+        """Whether a time of day falls inside the window."""
+        return self.start <= seconds_of_day < self.end
+
+
+class QuietHoursMethod(DecisionMethod):
+    """Blocks all commands during configured daily windows.
+
+    A remote attacker's favourite moment is when nobody is home; a
+    schedule policy kills entire classes of attacks with zero queries.
+    Outside quiet hours the verdict is LEGITIMATE, so this method is
+    meant to be composed with the RSSI method via :class:`AllOfMethod`.
+    """
+
+    def __init__(self, sim: Simulator, windows: Sequence[QuietWindow]) -> None:
+        if not windows:
+            raise ConfigError("QuietHoursMethod needs at least one window")
+        self.sim = sim
+        self.windows = list(windows)
+        self.blocked_by_schedule = 0
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Block during quiet hours, pass otherwise."""
+        seconds_of_day = self.sim.now % 86400
+        if any(window.covers(seconds_of_day) for window in self.windows):
+            self.blocked_by_schedule += 1
+            callback(DecisionResult(verdict=Verdict.MALICIOUS))
+        else:
+            callback(DecisionResult(verdict=Verdict.LEGITIMATE))
+
+
+class _CombinerState:
+    __slots__ = ("results", "done")
+
+    def __init__(self, count: int) -> None:
+        self.results: List[Optional[DecisionResult]] = [None] * count
+        self.done = False
+
+
+def _merge_evidence(results: Sequence[Optional[DecisionResult]]) -> Tuple[list, list]:
+    reports: list = []
+    vetoed: list = []
+    for result in results:
+        if result is not None:
+            reports.extend(result.reports)
+            vetoed.extend(result.floor_vetoed)
+    return reports, vetoed
+
+
+class AllOfMethod(DecisionMethod):
+    """LEGITIMATE only if *every* sub-method says legitimate.
+
+    Short-circuits to MALICIOUS on the first rejecting sub-method.  A
+    TIMEOUT from any sub-method makes the combined verdict TIMEOUT
+    (unless another already rejected).
+    """
+
+    def __init__(self, methods: Sequence[DecisionMethod]) -> None:
+        if not methods:
+            raise ConfigError("AllOfMethod needs at least one sub-method")
+        self.methods = list(methods)
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Query every sub-method; legitimate only if all agree."""
+        state = _CombinerState(len(self.methods))
+
+        def finish(verdict: Verdict) -> None:
+            if state.done:
+                return
+            state.done = True
+            reports, vetoed = _merge_evidence(state.results)
+            callback(DecisionResult(verdict=verdict, reports=reports, floor_vetoed=vetoed))
+
+        def on_result(index: int, result: DecisionResult) -> None:
+            if state.done:
+                return
+            state.results[index] = result
+            if result.verdict is Verdict.MALICIOUS:
+                finish(Verdict.MALICIOUS)
+                return
+            if all(r is not None for r in state.results):
+                if any(r.verdict is Verdict.TIMEOUT for r in state.results):
+                    finish(Verdict.TIMEOUT)
+                else:
+                    finish(Verdict.LEGITIMATE)
+
+        for index, method in enumerate(self.methods):
+            method.decide(context, lambda r, i=index: on_result(i, r))
+
+
+class AnyOfMethod(DecisionMethod):
+    """LEGITIMATE if *any* sub-method says legitimate.
+
+    Short-circuits on the first accepting sub-method; MALICIOUS once
+    every sub-method rejected; TIMEOUT if nothing accepted and at least
+    one sub-method timed out.
+    """
+
+    def __init__(self, methods: Sequence[DecisionMethod]) -> None:
+        if not methods:
+            raise ConfigError("AnyOfMethod needs at least one sub-method")
+        self.methods = list(methods)
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Query every sub-method; legitimate if any accepts."""
+        state = _CombinerState(len(self.methods))
+
+        def finish(verdict: Verdict) -> None:
+            if state.done:
+                return
+            state.done = True
+            reports, vetoed = _merge_evidence(state.results)
+            satisfied = None
+            for result in state.results:
+                if result is not None and result.satisfied_by:
+                    satisfied = result.satisfied_by
+                    break
+            callback(DecisionResult(
+                verdict=verdict, reports=reports,
+                satisfied_by=satisfied, floor_vetoed=vetoed,
+            ))
+
+        def on_result(index: int, result: DecisionResult) -> None:
+            if state.done:
+                return
+            state.results[index] = result
+            if result.verdict is Verdict.LEGITIMATE:
+                finish(Verdict.LEGITIMATE)
+                return
+            if all(r is not None for r in state.results):
+                if any(r.verdict is Verdict.TIMEOUT for r in state.results):
+                    finish(Verdict.TIMEOUT)
+                else:
+                    finish(Verdict.MALICIOUS)
+
+        for index, method in enumerate(self.methods):
+            method.decide(context, lambda r, i=index: on_result(i, r))

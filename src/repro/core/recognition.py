@@ -1,0 +1,336 @@
+"""Voice Command Traffic Recognition (paper Section IV-B1).
+
+The recognizer watches the client-side application-data records of each
+proxied flow and groups them into *spike windows*: a window opens with
+the first non-heartbeat record after an idle gap and absorbs records
+until the gap reappears.  Windows are classified from their first few
+packet lengths:
+
+* **Echo Dot** — a window is a *command* (phase 1) if one of the marker
+  lengths 138/75 appears among its first five packets, or its first
+  packet is 250-650 bytes followed by one of three fixed patterns; it
+  is a *response* (phase 2) if a 77-byte record immediately followed by
+  a 33-byte record appears within the first seven packets; anything
+  else is unknown and released.
+* **Google Home Mini** — the connection is on-demand, so *any* spike
+  after idle is a command.
+
+Flows are matched to cloud servers two ways: DNS snooping, and — for
+the Echo Dot, whose AVS server changes IP without DNS — the 16-packet
+connection signature.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import VoiceGuardConfig
+from repro.core.events import CommandEvent, GuardLog, TrafficClass
+from repro.net.addresses import IPv4Address
+from repro.net.packet import Packet, Protocol
+from repro.net.proxy import ForwarderDecision, ProxiedFlow
+from repro.sim.simulator import Simulator
+from repro.speakers import signatures as sig
+
+
+class SpeakerProfile(enum.Enum):
+    """Which speaker's traffic grammar a client IP speaks."""
+
+    ECHO = "echo"
+    GOOGLE = "google"
+
+
+_window_ids = itertools.count(1)
+
+
+@dataclass
+class Window:
+    """One spike window: consecutive records without an idle gap."""
+
+    window_id: int
+    flow: ProxiedFlow
+    speaker_ip: IPv4Address
+    opened_at: float
+    last_packet_time: float
+    lengths: List[int] = field(default_factory=list)
+    classification: Optional[TrafficClass] = None
+    classified_at: Optional[float] = None
+    released: bool = False
+    discarded: bool = False
+    event: Optional[CommandEvent] = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the window is still unclassified."""
+        return self.classification is None
+
+    @property
+    def resolved(self) -> bool:
+        """Whether held records were released or discarded."""
+        return self.released or self.discarded
+
+
+@dataclass
+class _FlowState:
+    flow: ProxiedFlow
+    prefix: List[int] = field(default_factory=list)
+    window: Optional[Window] = None
+    last_data_time: Optional[float] = None  # non-heartbeat app data
+    signature_matched: bool = False
+    signature_failed: bool = False
+
+
+@dataclass
+class _SpeakerState:
+    profile: SpeakerProfile
+    avs_ip: Optional[IPv4Address] = None
+    avs_ip_source: Optional[str] = None  # "dns" | "signature"
+    google_ips: Set[IPv4Address] = field(default_factory=set)
+
+
+ClassifiedCallback = Callable[[Window, TrafficClass], None]
+
+
+def classify_echo_lengths(lengths: List[int]) -> Optional[TrafficClass]:
+    """Incremental Echo Dot phase classifier.
+
+    Evidence is evaluated in *stream order* — exactly as a live
+    recognizer sees packets — so whichever signal completes first wins:
+    a marker length (138/75) within the first five packets, the 77->33
+    pair within the first seven, or a fixed pattern completing at the
+    fifth packet.  Returns ``None`` while undecidable and UNKNOWN once
+    seven packets yield nothing.
+    """
+    low, high = sig.PHASE1_FIRST_RANGE
+    head = lengths[: sig.PHASE2_MARKER_MAX_INDEX]
+    for index, length in enumerate(head):
+        if index < 5 and length in sig.PHASE1_MARKERS:
+            return TrafficClass.COMMAND
+        if index >= 1 and (head[index - 1], length) == sig.PHASE2_MARKER_PAIR:
+            return TrafficClass.RESPONSE
+        if (
+            index == 4
+            and low <= head[0] <= high
+            and tuple(head[1:5]) in sig.PHASE1_FIXED_PATTERNS
+        ):
+            return TrafficClass.COMMAND
+    if len(lengths) >= sig.PHASE2_MARKER_MAX_INDEX:
+        return TrafficClass.UNKNOWN
+    return None
+
+
+def finalize_echo_lengths(lengths: List[int]) -> TrafficClass:
+    """Classification when the spike ended early (fewer than 7 packets)."""
+    decided = classify_echo_lengths(lengths)
+    return decided if decided is not None else TrafficClass.UNKNOWN
+
+
+class TrafficRecognition:
+    """Per-speaker traffic recognizer over proxied flows."""
+
+    def __init__(self, sim: Simulator, config: VoiceGuardConfig, log: GuardLog) -> None:
+        self.sim = sim
+        self.config = config
+        self.log = log
+        self.on_classified: Optional[ClassifiedCallback] = None
+        self._speakers: Dict[IPv4Address, _SpeakerState] = {}
+        self._flows: Dict[int, _FlowState] = {}
+        self.windows_opened = 0
+        # Ablation knob: with signature tracking off, the guard only
+        # learns AVS IPs from DNS and loses the server after silent
+        # reconnects (the failure mode Section IV-B describes).
+        self.use_signature_tracking = True
+        # Optional adaptive learner (paper Section VII's future work):
+        # when set, its adopted signature replaces the static constant,
+        # surviving firmware changes to the connect sequence.
+        self.signature_learner = None  # type: Optional["SignatureLearner"]
+
+    # -- setup ---------------------------------------------------------------
+    def add_speaker(self, ip: IPv4Address, profile: SpeakerProfile) -> None:
+        """Register a protected speaker's traffic grammar."""
+        self._speakers[ip] = _SpeakerState(profile=profile)
+
+    def speaker_state(self, ip: IPv4Address) -> Optional[_SpeakerState]:
+        """Internal state for a speaker IP (None if unknown)."""
+        return self._speakers.get(ip)
+
+    # -- DNS snooping ------------------------------------------------------------
+    def observe_snoop(self, packet: Packet) -> None:
+        """Inspect tapped packets for DNS answers (Figure 2's snooping)."""
+        domain = packet.meta.get("dns_response")
+        if domain is None:
+            return
+        answers = packet.meta.get("dns_answers") or []
+        if not answers:
+            return
+        speaker = self._speakers.get(packet.dst.ip)
+        if speaker is None:
+            return
+        if speaker.profile is SpeakerProfile.ECHO and domain == sig.AVS_DOMAIN:
+            speaker.avs_ip = answers[0]
+            speaker.avs_ip_source = "dns"
+        elif speaker.profile is SpeakerProfile.GOOGLE and domain == sig.GOOGLE_DOMAIN:
+            speaker.google_ips.add(answers[0])
+
+    # -- main entry (the proxy's record policy) ------------------------------------
+    def observe(self, flow: ProxiedFlow, packet: Packet) -> ForwarderDecision:
+        """Classify one client record; returns the forwarding decision."""
+        speaker = self._speakers.get(flow.client.ip)
+        if speaker is None:
+            return ForwarderDecision.FORWARD
+        fs = self._flows.get(flow.flow_id)
+        if fs is None:
+            fs = _FlowState(flow=flow)
+            self._flows[flow.flow_id] = fs
+        now = self.sim.now
+
+        if speaker.profile is SpeakerProfile.ECHO:
+            self._track_signature(speaker, fs, packet, now)
+            relevant = speaker.avs_ip is not None and flow.server.ip == speaker.avs_ip
+        else:
+            relevant = flow.server.ip in speaker.google_ips
+        if not relevant:
+            return ForwarderDecision.FORWARD
+
+        self._expire_stale_window(fs, now)
+        heartbeat = packet.payload_len == self.config.heartbeat_len
+
+        if fs.window is None:
+            if heartbeat:
+                return ForwarderDecision.FORWARD
+            self._open_window(speaker, fs, packet, now)
+            return self._window_action(fs.window)
+
+        window = fs.window
+        window.last_packet_time = now
+        if not heartbeat:
+            fs.last_data_time = now
+        if window.pending and not heartbeat:
+            window.lengths.append(packet.payload_len)
+            self._try_classify(speaker, window)
+        return self._window_action(window)
+
+    # -- window mechanics ------------------------------------------------------------
+    def _open_window(self, speaker: _SpeakerState, fs: _FlowState, packet: Packet, now: float) -> None:
+        window = Window(
+            window_id=next(_window_ids),
+            flow=fs.flow,
+            speaker_ip=fs.flow.client.ip,
+            opened_at=now,
+            last_packet_time=now,
+        )
+        window.event = self.log.add(CommandEvent(
+            window_id=window.window_id,
+            flow_id=fs.flow.flow_id,
+            speaker_ip=str(fs.flow.client.ip),
+            protocol=fs.flow.protocol.value,
+            opened_at=now,
+        ))
+        fs.window = window
+        fs.last_data_time = now
+        self.windows_opened += 1
+        window.lengths.append(packet.payload_len)
+        self._try_classify(speaker, window)
+        if window.pending:
+            self._schedule_pending_check(fs, window)
+
+    def _window_action(self, window: Window) -> ForwarderDecision:
+        if window.resolved:
+            if window.discarded and window.flow.protocol is Protocol.UDP:
+                # QUIC retransmits past a one-shot drop; keep dropping
+                # the blocked flow's datagrams.
+                return ForwarderDecision.DROP
+            return ForwarderDecision.FORWARD
+        if window.classification in (TrafficClass.RESPONSE, TrafficClass.UNKNOWN):
+            # Classified benign: the handler released held records in the
+            # classification callback; current packet flows through.
+            return ForwarderDecision.FORWARD
+        # Pending, or a command awaiting its verdict: park everything.
+        return ForwarderDecision.HOLD
+
+    def _try_classify(self, speaker: _SpeakerState, window: Window) -> None:
+        if speaker.profile is SpeakerProfile.GOOGLE:
+            decided: Optional[TrafficClass] = TrafficClass.COMMAND
+        else:
+            decided = classify_echo_lengths(window.lengths)
+        if decided is not None and window.pending:
+            self._classify(window, decided)
+
+    def _classify(self, window: Window, classification: TrafficClass) -> None:
+        window.classification = classification
+        window.classified_at = self.sim.now
+        if window.event is not None:
+            window.event.classification = classification
+            window.event.classified_at = self.sim.now
+            window.event.classify_packet_count = len(window.lengths)
+        if self.on_classified is not None:
+            self.on_classified(window, classification)
+
+    def _schedule_pending_check(self, fs: _FlowState, window: Window) -> None:
+        """Resolve windows whose spike ends before seven packets."""
+
+        def check() -> None:
+            if fs.window is not window or not window.pending:
+                return
+            idle = self.sim.now - window.last_packet_time
+            remaining = self.config.classification_timeout - idle
+            if remaining <= 1e-6:
+                self._classify(window, finalize_echo_lengths(window.lengths))
+            else:
+                # Never reschedule closer than 1 ms: tiny float residues
+                # would otherwise freeze simulated time in place.
+                self.sim.schedule(max(remaining, 0.001), check)
+
+        self.sim.schedule(self.config.classification_timeout, check)
+
+    def _expire_stale_window(self, fs: _FlowState, now: float) -> None:
+        window = fs.window
+        if window is None:
+            return
+        if now - window.last_packet_time > self.config.idle_gap:
+            if window.pending:
+                # Spike ended without enough packets and the timer has
+                # not fired yet; settle it before opening a new window.
+                self._classify(window, finalize_echo_lengths(window.lengths))
+            fs.window = None
+
+    # -- AVS signature tracking ------------------------------------------------------------
+    def _track_signature(
+        self, speaker: _SpeakerState, fs: _FlowState, packet: Packet, now: float
+    ) -> None:
+        if not self.use_signature_tracking:
+            return
+        if fs.signature_matched:
+            return
+        signature = self._active_signature()
+        if len(fs.prefix) < len(signature):
+            fs.prefix.append(packet.payload_len)
+        # Feed the adaptive learner from flows whose server identity is
+        # independently confirmed by DNS (never from signature matches —
+        # that would let the learner confirm itself).
+        if (
+            self.signature_learner is not None
+            and speaker.avs_ip_source == "dns"
+            and speaker.avs_ip is not None
+            and fs.flow.server.ip == speaker.avs_ip
+        ):
+            self.signature_learner.observe_confirmed_flow(fs.flow, packet, now)
+        if fs.signature_failed:
+            return
+        index = len(fs.prefix) - 1
+        if fs.prefix[index] != signature[index]:
+            fs.signature_failed = True
+            return
+        if len(fs.prefix) == len(signature):
+            fs.signature_matched = True
+            speaker.avs_ip = fs.flow.server.ip
+            speaker.avs_ip_source = "signature"
+
+    def _active_signature(self):
+        learner = self.signature_learner
+        if learner is not None and learner.active is not None:
+            return learner.active.lengths
+        return sig.AVS_CONNECT_SIGNATURE

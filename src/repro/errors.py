@@ -1,0 +1,49 @@
+"""Exception hierarchy for the VoiceGuard reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. time reversal)."""
+
+
+class NetworkError(ReproError):
+    """A network-stack invariant was violated (bad address, dead connection)."""
+
+
+class ConnectionClosedError(NetworkError):
+    """Data was sent on a TCP connection that is no longer established."""
+
+
+class RadioError(ReproError):
+    """Radio/propagation misuse (unknown floor, device without a position)."""
+
+
+class FloorPlanError(RadioError):
+    """A floor plan is geometrically inconsistent."""
+
+
+class ConfigError(ReproError):
+    """Invalid VoiceGuard configuration."""
+
+
+class RegistrationError(ReproError):
+    """Device registration on the guard was rejected (paper section IV-C:
+    registration requires manual owner approval)."""
+
+
+class DecisionTimeoutError(ReproError):
+    """No registered device answered an RSSI query before the deadline."""
+
+
+class WorkloadError(ReproError):
+    """An experiment workload was specified inconsistently."""

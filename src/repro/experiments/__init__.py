@@ -1,0 +1,30 @@
+"""Experiment scenarios, workloads, and per-table/figure runners.
+
+Each paper table and figure has a dedicated module here; the matching
+``benchmarks/bench_*.py`` file calls into it and prints the regenerated
+rows.  See DESIGN.md's per-experiment index.
+"""
+
+from repro.experiments.runner import (
+    RssiExperimentResult,
+    run_rssi_experiment,
+    score_interactions,
+)
+from repro.experiments.scenarios import (
+    Scenario,
+    build_scenario,
+    collect_route_features,
+    train_trace_classifier,
+)
+from repro.experiments.workload import SevenDayWorkload
+
+__all__ = [
+    "RssiExperimentResult",
+    "Scenario",
+    "SevenDayWorkload",
+    "build_scenario",
+    "collect_route_features",
+    "run_rssi_experiment",
+    "score_interactions",
+    "train_trace_classifier",
+]

@@ -1,0 +1,175 @@
+"""Figure 4: the Traffic Handler's three cases.
+
+Case I   — no proxy: the cloud's reply arrives ~40 ms after the
+           command packets leave the speaker.
+Case II  — proxy holds the command records while the Decision Module
+           works, then releases them; the reply arrives right after
+           the release and the session stays intact.
+Case III — proxy holds, the verdict is malicious, the records are
+           discarded; the next forwarded record desynchronizes the TLS
+           record sequence and the cloud closes the session (and the
+           speaker observably reconnects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.audio.speech import full_utterance_duration
+from repro.audio.voiceprint import replay_of
+from repro.core.decision import Verdict
+from repro.experiments.scenarios import Scenario, build_scenario
+
+
+@dataclass
+class Fig4Case:
+    name: str
+    command_sent_at: float  # when the final command record left the speaker
+    reply_at: Optional[float]  # cloud's directive reaching the speaker
+    hold_duration: Optional[float]
+    session_closed: bool
+    tls_violation: bool
+    reconnected: bool
+    executed: bool
+
+    @property
+    def reply_delay(self) -> Optional[float]:
+        if self.reply_at is None:
+            return None
+        return self.reply_at - self.command_sent_at
+
+
+@dataclass
+class Fig4Result:
+    cases: List[Fig4Case] = field(default_factory=list)
+
+    def case(self, name: str) -> Fig4Case:
+        for case in self.cases:
+            if case.name == name:
+                return case
+        raise KeyError(name)
+
+    def render(self) -> str:
+        """Render as paper-style text."""
+        lines = ["Figure 4: Traffic Handler cases", "=" * 34]
+        for case in self.cases:
+            reply = f"{case.reply_delay:.3f}s" if case.reply_delay is not None else "none"
+            hold = f"{case.hold_duration:.3f}s" if case.hold_duration is not None else "-"
+            lines.append(
+                f"{case.name:10s} reply_after={reply:>8s} hold={hold:>8s} "
+                f"executed={case.executed} tls_violation={case.tls_violation} "
+                f"session_closed={case.session_closed} reconnected={case.reconnected}"
+            )
+        return "\n".join(lines)
+
+
+def _issue_command(scenario: Scenario, rng_name: str) -> tuple:
+    env = scenario.env
+    owner = scenario.owners[0]
+    rng = env.rng.stream(rng_name)
+    command = scenario.corpus.sample(rng)
+    duration = full_utterance_duration(command, rng)
+    utterance = owner.speak(command.text, duration)
+    env.play_utterance(utterance, owner.device_position())
+    return utterance, duration
+
+
+def _watch_directive(scenario: Scenario, sink: List[float]) -> None:
+    """Record when the cloud's directive record reaches the speaker."""
+    speaker = scenario.speaker
+    original = speaker._on_avs_record
+
+    def wrapped(conn, packet):
+        if packet.meta.get("directive"):
+            sink.append(scenario.env.sim.now)
+        original(conn, packet)
+
+    speaker._on_avs_record = wrapped
+    # Re-point the live connection's callback too.
+    if speaker._conn is not None:
+        speaker._conn.on_record = wrapped
+
+
+def run_fig4(seed: int = 9) -> Fig4Result:
+    """Reproduce all three handler cases on the Echo Dot."""
+    result = Fig4Result()
+
+    # -- Case I: no guard installed ------------------------------------
+    scenario = build_scenario(
+        "house", "echo", seed=seed, owner_count=1,
+        with_guard=False, with_floor_tracking=False, calibrate=False,
+    )
+    env = scenario.env
+    scenario.owners[0].teleport(env.testbed.device_point(5).offset(dz=-1.0))
+    directives: List[float] = []
+    _watch_directive(scenario, directives)
+    utterance, duration = _issue_command(scenario, "fig4.case1")
+    command_done = env.sim.now + duration + 0.2
+    env.sim.run_for(duration + 12.0)
+    record = list(scenario.speaker.interactions.values())[-1]
+    result.cases.append(Fig4Case(
+        name="case I",
+        command_sent_at=command_done,
+        reply_at=directives[0] if directives else None,
+        hold_duration=None,
+        session_closed=False,
+        tls_violation=False,
+        reconnected=False,
+        executed=record.executed_at is not None,
+    ))
+
+    # -- Case II: hold and release ------------------------------------------
+    scenario = build_scenario(
+        "house", "echo", seed=seed + 1, owner_count=1, with_floor_tracking=False,
+    )
+    env = scenario.env
+    scenario.owners[0].teleport(env.testbed.device_point(5).offset(dz=-1.0))
+    directives = []
+    _watch_directive(scenario, directives)
+    utterance, duration = _issue_command(scenario, "fig4.case2")
+    command_done = env.sim.now + duration + 0.2
+    env.sim.run_for(duration + 14.0)
+    record = list(scenario.speaker.interactions.values())[-1]
+    events = [e for e in scenario.guard.log.commands() if e.verdict is Verdict.LEGITIMATE]
+    hold = events[-1].hold_duration if events else None
+    result.cases.append(Fig4Case(
+        name="case II",
+        command_sent_at=command_done,
+        reply_at=directives[0] if directives else None,
+        hold_duration=hold,
+        session_closed=False,
+        tls_violation=bool(scenario.avs_cloud.stats.tls_violations),
+        reconnected=scenario.speaker.reconnect_count > 0,
+        executed=record.executed_at is not None,
+    ))
+
+    # -- Case III: hold and discard ------------------------------------------
+    scenario = build_scenario(
+        "house", "echo", seed=seed + 2, owner_count=1, with_floor_tracking=False,
+    )
+    env = scenario.env
+    # Owner far away (kitchen); a replay attack plays in the living room.
+    scenario.owners[0].teleport(env.testbed.device_point(30).offset(dz=-1.0))
+    rng = env.rng.stream("fig4.case3")
+    command = scenario.corpus.sample(rng)
+    duration = full_utterance_duration(command, rng)
+    live = scenario.owners[0].speak(command.text, duration)
+    attack = replay_of(live, rng)
+    env.play_utterance(attack, env.testbed.device_point(3))
+    command_done = env.sim.now + duration + 0.2
+    env.sim.run_for(duration + 20.0)
+    record = list(scenario.speaker.interactions.values())[-1]
+    events = [e for e in scenario.guard.log.commands() if e.discarded_at is not None]
+    hold = events[-1].hold_duration if events else None
+    result.cases.append(Fig4Case(
+        name="case III",
+        command_sent_at=command_done,
+        reply_at=None,
+        hold_duration=hold,
+        session_closed=scenario.avs_cloud.stats.sessions_closed > 0,
+        tls_violation=bool(scenario.avs_cloud.stats.tls_violations),
+        reconnected=scenario.speaker.reconnect_count > 0,
+        executed=record.executed_at is not None,
+    ))
+    return result

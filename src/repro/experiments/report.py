@@ -1,0 +1,126 @@
+"""One-call reproduction report.
+
+``generate_report`` runs every experiment (optionally at reduced scale)
+and concatenates the rendered tables and figures into a single text
+report — the programmatic counterpart of running the whole benchmark
+suite.  Used by ``examples/full_reproduction.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.ablation import (
+    run_defense_matrix,
+    run_firewall_comparison,
+    run_floor_ablation,
+    run_signature_ablation,
+)
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig6 import corpus_report, run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.hold_endurance import run_hold_endurance
+from repro.experiments.rssi_maps import run_rssi_map
+from repro.experiments.rssi_tables import run_rssi_table
+from repro.experiments.table1 import run_table1
+
+
+@dataclass
+class ReportSection:
+    name: str
+    text: str
+    elapsed: float
+
+
+@dataclass
+class ReproductionReport:
+    sections: List[ReportSection] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Render as paper-style text."""
+        parts = ["VoiceGuard reproduction report", "=" * 31, ""]
+        for section in self.sections:
+            parts.append(f"--- {section.name} ({section.elapsed:.1f}s) ---")
+            parts.append(section.text)
+            parts.append("")
+        return "\n".join(parts)
+
+    def section(self, name: str) -> ReportSection:
+        for section in self.sections:
+            if section.name == name:
+                return section
+        raise KeyError(name)
+
+
+def _timed(report: ReproductionReport, name: str, producer: Callable[[], str],
+           progress: Optional[Callable[[str], None]]) -> None:
+    if progress:
+        progress(f"running {name}...")
+    start = time.perf_counter()
+    text = producer()
+    report.sections.append(ReportSection(name, text, time.perf_counter() - start))
+
+
+def generate_report(
+    scale: float = 0.3,
+    seed: int = 3,
+    progress: Optional[Callable[[str], None]] = print,
+) -> ReproductionReport:
+    """Regenerate every paper table and figure.
+
+    ``scale`` shrinks the workload sizes of the 7-day tables (1.0 =
+    paper scale, ~30 s of wall-clock; 0.3 ≈ a third of the commands in
+    a few seconds).
+    """
+    report = ReproductionReport()
+    _timed(report, "corpus statistics (§V-A2)", corpus_report, progress)
+    _timed(report, "Table I (traffic recognition)",
+           lambda: run_table1(seed=seed).render(), progress)
+    for testbed, table in (("house", "Table II"), ("apartment", "Table III"),
+                           ("office", "Table IV")):
+        _timed(report, f"{table} ({testbed})",
+               lambda tb=testbed: run_rssi_table(tb, seed=seed, scale=scale)
+               .render_with_paper(), progress)
+    _timed(report, "Figure 3 (interaction spikes)",
+           lambda: run_fig3(seed=seed).render(), progress)
+    _timed(report, "Figure 4 (traffic handler cases)",
+           lambda: run_fig4(seed=seed).render(), progress)
+    _timed(report, "Figure 6 (delay cases)",
+           lambda: run_fig6("echo", invocations=max(20, int(100 * scale)),
+                            seed=seed).render(), progress)
+    _timed(report, "Figure 7 (query latency)",
+           lambda: "\n".join(
+               run_fig7(kind, invocations=max(30, int(100 * scale)), seed=seed).render()
+               for kind in ("echo", "google")), progress)
+    _timed(report, "Figures 8-9 (RSSI maps)",
+           lambda: "\n\n".join(
+               run_rssi_map(tb, dep, seed=seed).render()
+               for tb in ("house", "apartment", "office") for dep in (0, 1)),
+           progress)
+    _timed(report, "Figure 10 (floor traces)",
+           lambda: run_fig10("echo", seed=seed,
+                             test_reps=max(5, int(15 * scale))).render(), progress)
+    trials = max(3, int(8 * scale))
+    _timed(report, "ablation: defense matrix",
+           lambda: run_defense_matrix(seed=seed, trials_per_attack=trials,
+                                      legit_trials=trials).render(), progress)
+    _timed(report, "ablation: floor tracking",
+           lambda: run_floor_ablation(seed=seed, legit=max(15, int(50 * scale)),
+                                      malicious=max(10, int(40 * scale))).render(),
+           progress)
+    _timed(report, "ablation: AVS signatures",
+           lambda: run_signature_ablation(seed=seed,
+                                          commands=max(8, int(25 * scale))).render(),
+           progress)
+    _timed(report, "ablation: firewall comparison",
+           lambda: run_firewall_comparison(seed=seed,
+                                           commands=max(10, int(25 * scale))).render(),
+           progress)
+    _timed(report, "ablation: hold endurance",
+           lambda: run_hold_endurance(holds=(2.0, 10.0, 30.0), seed=seed).render(),
+           progress)
+    return report

@@ -1,0 +1,140 @@
+"""Figures 8 and 9: RSSI maps of the three testbeds.
+
+The paper averages 16 Bluetooth RSSI measurements (4 per body
+orientation) at every numbered location, for each speaker deployment,
+and reads off the calibration threshold; the maps demonstrate that the
+speaker's room (plus line-of-sight spots) sits above the threshold,
+other rooms sit below it, and — in the house — the room directly above
+the speaker leaks (locations #55, #56, #59-62), motivating floor
+tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.reporting import render_table
+from repro.core.threshold import ThresholdCalibrator
+from repro.home.environment import HomeEnvironment
+from repro.radio.testbeds import (
+    HOUSE_LEAK_POINT_NUMBERS,
+    Testbed,
+    testbed_by_name,
+)
+
+SAMPLES_PER_LOCATION = 16  # 4 orientations x 4 measurements
+
+
+@dataclass
+class LocationReading:
+    number: int
+    room: str
+    rssi: float
+
+
+@dataclass
+class RssiMapResult:
+    testbed: str
+    deployment: int
+    threshold: float
+    readings: List[LocationReading] = field(default_factory=list)
+    legitimate_points: List[int] = field(default_factory=list)
+    leak_points: List[int] = field(default_factory=list)
+
+    def reading(self, number: int) -> LocationReading:
+        for item in self.readings:
+            if item.number == number:
+                return item
+        raise KeyError(number)
+
+    def rooms(self) -> Dict[str, List[LocationReading]]:
+        grouped: Dict[str, List[LocationReading]] = {}
+        for item in self.readings:
+            grouped.setdefault(item.room, []).append(item)
+        return grouped
+
+    # -- the paper's qualitative claims, as checks -----------------------
+    def in_room_fraction_above_threshold(self) -> float:
+        legit = [r for r in self.readings if r.number in self.legitimate_points]
+        if not legit:
+            return float("nan")
+        return sum(1 for r in legit if r.rssi >= self.threshold) / len(legit)
+
+    def away_fraction_below_threshold(self) -> float:
+        away = [
+            r for r in self.readings
+            if r.number not in self.legitimate_points
+            and r.number not in self.leak_points
+        ]
+        if not away:
+            return float("nan")
+        return sum(1 for r in away if r.rssi < self.threshold) / len(away)
+
+    def leak_points_above_threshold(self) -> List[int]:
+        return [
+            r.number for r in self.readings
+            if r.number in self.leak_points and r.rssi >= self.threshold
+        ]
+
+    def render(self) -> str:
+        """Render as paper-style text."""
+        figure = "Figure 8" if self.deployment == 0 else "Figure 9"
+        rows = []
+        for room, readings in self.rooms().items():
+            values = [r.rssi for r in readings]
+            rows.append([
+                room,
+                len(readings),
+                f"{min(values):.1f}",
+                f"{max(values):.1f}",
+                f"{sum(values) / len(values):.1f}",
+            ])
+        table = render_table(
+            f"{figure} ({self.testbed}, deployment {self.deployment + 1}): "
+            f"per-room RSSI, threshold {self.threshold:.1f}",
+            ["room", "points", "min", "max", "mean"],
+            rows,
+        )
+        leak = self.leak_points_above_threshold()
+        notes = [
+            f"\nlegitimate area above threshold: {self.in_room_fraction_above_threshold():.0%}",
+            f"other rooms below threshold: {self.away_fraction_below_threshold():.0%}",
+        ]
+        if self.leak_points:
+            notes.append(f"above-speaker leak points over threshold: {leak}")
+        return table + "  |  ".join([""] + notes)
+
+
+def run_rssi_map(testbed_name: str, deployment: int, seed: int = 8) -> RssiMapResult:
+    """Measure the full numbered grid for one deployment."""
+    testbed = testbed_by_name(testbed_name)
+    env = HomeEnvironment(testbed, deployment=deployment, seed=seed)
+    speaker_room = testbed.speaker_room(deployment)
+    person = env.add_person("surveyor", speaker_room.center(height=0.0))
+    device = (
+        env.add_smartwatch("survey-watch", person)
+        if testbed_name == "office"
+        else env.add_smartphone("survey-phone", person)
+    )
+    calibration = ThresholdCalibrator(env).calibrate(device, speaker_room)
+
+    rng = env.rng.stream("rssi-map")
+    readings = []
+    for number, mp in sorted(testbed.plan.points.items()):
+        rssi = env.model.average_rssi(
+            env.speaker_beacon.position, mp.point, rng, samples=SAMPLES_PER_LOCATION
+        )
+        readings.append(LocationReading(number=number, room=mp.room_name, rssi=rssi))
+
+    leak = list(HOUSE_LEAK_POINT_NUMBERS) if (
+        testbed_name == "house" and deployment == 0
+    ) else []
+    return RssiMapResult(
+        testbed=testbed_name,
+        deployment=deployment,
+        threshold=calibration.threshold,
+        readings=readings,
+        legitimate_points=testbed.legitimate_points(deployment),
+        leak_points=leak,
+    )

@@ -1,0 +1,119 @@
+"""Scoring for the RSSI-method experiments (Tables II-IV).
+
+Positive class = malicious command (the paper's convention); the guard
+"predicts positive" by blocking.  Ground truth comes from the
+speakers' interaction registry: an attack that *executed* at the cloud
+is a false negative, a legitimate command that never executed is a
+false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import ConfusionMatrix
+from repro.experiments.scenarios import build_scenario
+from repro.experiments.workload import SevenDayWorkload, WorkloadResult
+from repro.speakers.base import InteractionOutcome, InteractionRecord
+
+
+@dataclass
+class RssiExperimentResult:
+    """One table cell: a (testbed, speaker, location) run."""
+
+    scenario_name: str
+    matrix: ConfusionMatrix
+    records: List[InteractionRecord] = field(default_factory=list)
+    workload: Optional[WorkloadResult] = None
+
+    @property
+    def legit_correct(self) -> int:
+        return self.matrix.true_negative
+
+    @property
+    def legit_total(self) -> int:
+        return self.matrix.actual_negative
+
+    @property
+    def malicious_correct(self) -> int:
+        return self.matrix.true_positive
+
+    @property
+    def malicious_total(self) -> int:
+        return self.matrix.actual_positive
+
+    def row(self) -> Dict[str, object]:
+        """A row in the paper's table format."""
+        return {
+            "case": self.scenario_name,
+            "legitimate (N)": f"{self.legit_correct} / {self.legit_total}",
+            "malicious (P)": f"{self.malicious_correct} / {self.malicious_total}",
+            "accuracy": self.matrix.accuracy,
+            "precision": self.matrix.precision,
+            "recall": self.matrix.recall,
+        }
+
+    def correct_flags(self) -> List[bool]:
+        """Per-command correctness (the bootstrap's unit of resampling)."""
+        flags = []
+        for record in self.records:
+            blocked = record.outcome is not InteractionOutcome.EXECUTED
+            flags.append(blocked == record.is_attack)
+        return flags
+
+    def accuracy_interval(self, confidence: float = 0.95):
+        """95 % bootstrap interval on this cell's accuracy."""
+        from repro.analysis.stats import accuracy_interval
+
+        return accuracy_interval(self.correct_flags(), confidence=confidence)
+
+
+def score_interactions(records: List[InteractionRecord]) -> ConfusionMatrix:
+    """Fold settled interaction records into a confusion matrix."""
+    matrix = ConfusionMatrix()
+    for record in records:
+        blocked = record.outcome is not InteractionOutcome.EXECUTED
+        matrix.record(actual_positive=record.is_attack, predicted_positive=blocked)
+    return matrix
+
+
+def run_rssi_experiment(
+    testbed_name: str,
+    speaker_kind: str,
+    deployment: int,
+    seed: int = 0,
+    legit_count: int = 90,
+    malicious_count: int = 65,
+    owner_count: Optional[int] = None,
+    config=None,
+    with_floor_tracking: Optional[bool] = None,
+) -> RssiExperimentResult:
+    """Run one Tables II-IV cell end to end.
+
+    ``owner_count`` defaults to the paper's setup: two phone-carrying
+    owners in the smart-home testbeds, one watch wearer in the office.
+    """
+    if owner_count is None:
+        owner_count = 1 if testbed_name == "office" else 2
+    scenario = build_scenario(
+        testbed_name,
+        speaker_kind,
+        deployment=deployment,
+        seed=seed,
+        owner_count=owner_count,
+        config=config,
+        with_floor_tracking=with_floor_tracking,
+    )
+    workload = SevenDayWorkload(scenario)
+    workload_result = workload.run(legit_count, malicious_count)
+    records = scenario.speaker.settle_all()
+    # Score only workload-issued commands (boot-time noise has no
+    # interaction records, but guard training commands would).
+    matrix = score_interactions(records)
+    return RssiExperimentResult(
+        scenario_name=scenario.name,
+        matrix=matrix,
+        records=records,
+        workload=workload_result,
+    )

@@ -1,0 +1,25 @@
+"""Smart-home environment: people, mobile devices, push notifications.
+
+This package animates the testbeds: :class:`Person` objects move along
+routes and stand at measurement points, carrying :class:`Smartphone` /
+:class:`Smartwatch` devices that measure the speaker's Bluetooth RSSI
+when the guard pushes a request through the (FCM-like)
+:class:`PushService`.  A :class:`MotionSensor` near the stairs feeds
+the floor-level tracker, and :class:`HomeEnvironment` wires everything
+to one simulator.
+"""
+
+from repro.home.devices import MobileDevice, MotionSensor, Smartphone, Smartwatch
+from repro.home.environment import HomeEnvironment
+from repro.home.person import Person
+from repro.home.push import PushService
+
+__all__ = [
+    "HomeEnvironment",
+    "MobileDevice",
+    "MotionSensor",
+    "Person",
+    "PushService",
+    "Smartphone",
+    "Smartwatch",
+]

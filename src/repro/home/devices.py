@@ -1,0 +1,161 @@
+"""Mobile devices and the stair motion sensor.
+
+:class:`Smartphone` and :class:`Smartwatch` run the VoiceGuard
+companion app: on a pushed request they scan for the speaker's
+Bluetooth beacon and report the RSSI; they can also record the 8-second
+40-sample traces the floor-level tracker consumes, and run the
+threshold-calibration walk (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.home.person import Person
+from repro.radio.bluetooth import BluetoothBeacon, BluetoothScanner, RssiSample
+from repro.radio.propagation import PropagationModel
+from repro.sim.process import PeriodicTask
+from repro.sim.simulator import Simulator
+
+TRACE_SAMPLE_PERIOD = 0.2  # the app records RSSI every 0.2 s (Section V-B2)
+TRACE_SAMPLE_COUNT = 40  # ... for 8 s, giving 40 values per trace
+
+
+class MobileDevice:
+    """A phone or watch carried by (or near) a person."""
+
+    kind = "device"
+
+    def __init__(
+        self,
+        name: str,
+        carrier: Person,
+        sim: Simulator,
+        model: PropagationModel,
+        rng: np.random.Generator,
+        interference_provider: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.name = name
+        self.carrier = carrier
+        self.sim = sim
+        self.scanner = BluetoothScanner(
+            name=f"{name}-scanner",
+            model=model,
+            position_provider=carrier.device_position,
+            rng=rng,
+            body_blocked_provider=carrier.body_blocks_radio,
+            interference_provider=interference_provider,
+        )
+        self._app_wake_rng = rng
+        self.rssi_requests_served = 0
+
+    # -- guard interactions -------------------------------------------------
+    def app_wake_delay(self) -> float:
+        """Background app activation latency after a push arrives."""
+        return float(self._app_wake_rng.uniform(0.08, 0.30))
+
+    def measure_rssi(
+        self,
+        beacon: BluetoothBeacon,
+        callback: Callable[[RssiSample], None],
+    ) -> None:
+        """Scan for ``beacon`` and deliver one sample asynchronously."""
+        self.rssi_requests_served += 1
+
+        def after_wake() -> None:
+            self.scanner.scan(self.sim, beacon, callback)
+
+        self.sim.schedule(self.app_wake_delay(), after_wake)
+
+    def record_trace(
+        self,
+        beacon: BluetoothBeacon,
+        callback: Callable[[List[RssiSample]], None],
+        sample_count: int = TRACE_SAMPLE_COUNT,
+        period: float = TRACE_SAMPLE_PERIOD,
+    ) -> None:
+        """Record ``sample_count`` RSSI samples, ``period`` apart.
+
+        Used for floor-level traces: the Decision Module starts a trace
+        whenever the stair motion sensor fires.
+        """
+        samples: List[RssiSample] = []
+
+        def take_sample(now: float) -> None:
+            samples.append(self.scanner.instant_rssi(beacon, now))
+            if len(samples) >= sample_count:
+                task.stop()
+                callback(samples)
+
+        task = PeriodicTask(self.sim, period, take_sample, first_delay=0.0)
+        task.start()
+
+    def instant_rssi(self, beacon: BluetoothBeacon) -> float:
+        """Synchronous single measurement (calibration helper)."""
+        return self.scanner.instant_rssi(beacon, self.sim.now).rssi
+
+
+class Smartphone(MobileDevice):
+    """A phone (Pixel 5 / Pixel 4a in the paper's experiments)."""
+
+    kind = "smartphone"
+
+
+class Smartwatch(MobileDevice):
+    """A wearable (Samsung Galaxy Watch4 in the office testbed)."""
+
+    kind = "smartwatch"
+
+
+class MotionSensor:
+    """A Hue-like PIR sensor covering a region of the floor plan.
+
+    It polls person positions (PIR refresh) and fires its callback when
+    anyone is inside the covered region; a refractory period models the
+    sensor's cooldown, so one stair traversal yields one event.
+    """
+
+    POLL_PERIOD = 0.25
+    REFRACTORY = 6.0
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        region: tuple,
+        persons: List[Person],
+        floor: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.region = region  # (x0, y0, x1, y1)
+        self.persons = persons
+        self.floor = floor
+        self.on_motion: Optional[Callable[[float], None]] = None
+        self._last_fired = -1e9
+        self.event_count = 0
+        self._task = PeriodicTask(sim, self.POLL_PERIOD, self._poll, first_delay=self.POLL_PERIOD)
+
+    def start(self) -> None:
+        """Begin polling for motion."""
+        self._task.start()
+
+    def stop(self) -> None:
+        """Stop polling."""
+        self._task.stop()
+
+    def _covers(self, person: Person) -> bool:
+        p = person.position
+        x0, y0, x1, y1 = self.region
+        return x0 <= p.x <= x1 and y0 <= p.y <= y1
+
+    def _poll(self, now: float) -> None:
+        if now - self._last_fired < self.REFRACTORY:
+            return
+        if any(self._covers(person) for person in self.persons):
+            self._last_fired = now
+            self.event_count += 1
+            if self.on_motion is not None:
+                self.on_motion(now)

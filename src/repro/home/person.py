@@ -1,0 +1,107 @@
+"""People and their movement.
+
+A :class:`Person` has a position in the floor plan, a voiceprint, and
+optionally a walk in progress.  Positions are computed lazily from the
+active walk and the simulated clock — the simulation does not tick
+every person every frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.audio.voiceprint import UtteranceSource, VoicePrint, VoiceUtterance, live_utterance
+from repro.radio.floorplan import DEVICE_CARRY_HEIGHT
+from repro.radio.geometry import Point, distance
+from repro.radio.testbeds import WalkRoute
+from repro.sim.simulator import Simulator
+
+WALKING_SPEED = 1.2  # m/s, used when walking directly to a point
+
+
+class Person:
+    """A human in the home: owner, family member, or guest."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        rng: np.random.Generator,
+        start: Point,
+        is_owner: bool = True,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.is_owner = is_owner
+        self._rng = rng
+        self.voiceprint = VoicePrint.create(name, rng)
+        self._anchor = start
+        self._walk: Optional[WalkRoute] = None
+        self._walk_started = 0.0
+
+    # -- position ---------------------------------------------------------
+    @property
+    def position(self) -> Point:
+        """Current feet position (z = the floor level being walked)."""
+        if self._walk is not None:
+            elapsed = self.sim.now - self._walk_started
+            if elapsed >= self._walk.duration:
+                self._anchor = self._walk.waypoints[-1]
+                self._walk = None
+            else:
+                return self._walk.position_at(elapsed)
+        return self._anchor
+
+    def device_position(self) -> Point:
+        """Where a carried device sits (about a metre above the feet)."""
+        return self.position.offset(dz=DEVICE_CARRY_HEIGHT)
+
+    def body_blocks_radio(self) -> bool:
+        """Whether the carrier's body currently shadows the radio path.
+
+        Orientation is not tracked; the body blocks the path roughly a
+        quarter of the time, matching the measurement procedure of the
+        paper (4 orientations per location).
+        """
+        return bool(self._rng.random() < 0.25)
+
+    # -- movement ---------------------------------------------------------
+    def teleport(self, point: Point) -> None:
+        """Place the person at ``point`` immediately (workload setup)."""
+        self._walk = None
+        self._anchor = point
+
+    def follow(self, route: WalkRoute) -> None:
+        """Begin walking ``route`` now; position interpolates over time."""
+        self._walk = route
+        self._walk_started = self.sim.now
+
+    def walk_to(self, target: Point, speed: float = WALKING_SPEED) -> float:
+        """Walk in a straight line to ``target``; returns the duration."""
+        here = self.position
+        duration = distance(here, target) / speed
+        self.follow(WalkRoute(f"{self.name}-walk", [here, target], duration=max(duration, 1e-6)))
+        return duration
+
+    @property
+    def walking(self) -> bool:
+        """Whether a walk is currently in progress."""
+        return self._walk is not None and (self.sim.now - self._walk_started) < self._walk.duration
+
+    # -- speech -----------------------------------------------------------
+    def speak(
+        self,
+        text: str,
+        duration: float,
+        source: Optional[UtteranceSource] = None,
+    ) -> VoiceUtterance:
+        """Produce a live utterance in this person's voice."""
+        if source is None:
+            source = UtteranceSource.LIVE_OWNER if self.is_owner else UtteranceSource.LIVE_GUEST
+        return live_utterance(text, duration, self.voiceprint, self._rng, source=source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = self.position
+        return f"Person({self.name!r} at ({p.x:.1f}, {p.y:.1f}, {p.z:.1f}))"

@@ -1,0 +1,59 @@
+"""Simulated home-network substrate.
+
+VoiceGuard is a *network-level* defense: it never sees audio, only the
+encrypted packets a smart speaker exchanges with its cloud.  This
+package provides the network the guard lives in:
+
+* :mod:`repro.net.addresses` / :mod:`repro.net.packet` — endpoints and
+  packet metadata (lengths, TCP flags, TLS record types) — exactly the
+  observables the paper's recognizer uses.
+* :mod:`repro.net.link` — a home LAN with a router/WAN boundary and
+  support for interposing a *tap* host inline on a device's traffic
+  (the laptop running VoiceGuard).
+* :mod:`repro.net.tcp` — a simplified but stateful TCP: handshake,
+  sequence/ack numbers, retransmission, keepalive probes, FIN/RST.
+* :mod:`repro.net.tls` — TLS record sequence bookkeeping; dropping a
+  record mid-stream desynchronizes the sequence and the peer closes the
+  session (paper Figure 4, case III).
+* :mod:`repro.net.udp` — datagram service used by Google Home Mini's
+  QUIC transport.
+* :mod:`repro.net.dns` — a resolver the speakers query and the guard
+  snoops to learn cloud server IPs.
+* :mod:`repro.net.capture` — Wireshark-like packet capture.
+* :mod:`repro.net.proxy` — the transparent TCP proxy + UDP forwarder
+  with hold/release/drop queues (the paper's Traffic Handler actuator).
+"""
+
+from repro.net.addresses import Endpoint, IPv4Address
+from repro.net.capture import CaptureRecord, PacketCapture
+from repro.net.dns import DnsClient, DnsRecord, DnsServer
+from repro.net.link import Host, Network
+from repro.net.packet import Packet, Protocol, TcpFlags, TlsRecordType
+from repro.net.proxy import ForwarderDecision, TransparentProxy, UdpForwarder
+from repro.net.tcp import TcpConnection, TcpState
+from repro.net.tls import TlsSession, TlsViolation
+from repro.net.udp import UdpFlow
+
+__all__ = [
+    "CaptureRecord",
+    "DnsClient",
+    "DnsRecord",
+    "DnsServer",
+    "Endpoint",
+    "ForwarderDecision",
+    "Host",
+    "IPv4Address",
+    "Network",
+    "Packet",
+    "PacketCapture",
+    "Protocol",
+    "TcpConnection",
+    "TcpFlags",
+    "TcpState",
+    "TlsRecordType",
+    "TlsSession",
+    "TlsViolation",
+    "TransparentProxy",
+    "UdpFlow",
+    "UdpForwarder",
+]

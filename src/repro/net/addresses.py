@@ -1,0 +1,65 @@
+"""IP addresses and endpoints.
+
+A tiny validated wrapper is used instead of :mod:`ipaddress` because the
+simulation only needs equality, hashing and pretty-printing, and the
+wrapper keeps error messages in simulation vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+
+def _validate_ipv4(text: str) -> str:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise NetworkError(f"invalid IPv4 address {text!r}")
+    for part in parts:
+        if not part.isdigit() or not 0 <= int(part) <= 255 or (part != "0" and part[0] == "0"):
+            raise NetworkError(f"invalid IPv4 address {text!r}")
+    return text
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """A dotted-quad IPv4 address."""
+
+    text: str
+
+    def __post_init__(self) -> None:
+        _validate_ipv4(self.text)
+
+    def __str__(self) -> str:
+        return self.text
+
+    @property
+    def is_private(self) -> bool:
+        """True for RFC1918 addresses (the home LAN side)."""
+        octets = [int(part) for part in self.text.split(".")]
+        if octets[0] == 10:
+            return True
+        if octets[0] == 192 and octets[1] == 168:
+            return True
+        return octets[0] == 172 and 16 <= octets[1] <= 31
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """An (address, port) pair, one side of a flow."""
+
+    ip: IPv4Address
+    port: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.port <= 65535:
+            raise NetworkError(f"invalid port {self.port!r}")
+
+    def __str__(self) -> str:
+        return f"{self.ip}:{self.port}"
+
+
+def endpoint(ip: str, port: int) -> Endpoint:
+    """Shorthand constructor: ``endpoint("192.168.1.200", 443)``."""
+    return Endpoint(IPv4Address(ip), port)

@@ -1,0 +1,126 @@
+"""DNS service with rotating answers.
+
+The Echo Dot resolves ``avs-alexa-4-na.amazon.com`` a handful of times
+and then keeps a long-lived connection; when the connection breaks, it
+*sometimes reconnects to a different server IP without a fresh DNS
+query* — the observation that forces the paper to fall back on
+packet-level connection signatures for server re-identification.  The
+:class:`DnsServer` here supports exactly that: domains map to a pool of
+addresses with a rotation counter, and clients may be handed an address
+out-of-band (modelling cached or pushed endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.errors import NetworkError
+from repro.net.addresses import Endpoint, IPv4Address
+from repro.net.link import Host
+from repro.net.packet import Packet, Protocol
+
+DNS_PORT = 53
+_QUERY_LEN = 46
+_RESPONSE_LEN = 62
+
+
+@dataclass
+class DnsRecord:
+    """A domain and its pool of server addresses."""
+
+    domain: str
+    addresses: List[IPv4Address]
+    _cursor: int = field(default=0, repr=False)
+
+    def current(self) -> IPv4Address:
+        """The address currently served for this domain."""
+        return self.addresses[self._cursor % len(self.addresses)]
+
+    def rotate(self) -> IPv4Address:
+        """Advance to the next address in the pool and return it."""
+        self._cursor = (self._cursor + 1) % len(self.addresses)
+        return self.current()
+
+
+class DnsServer(Host):
+    """The home router's DNS resolver, as a host on the LAN."""
+
+    def __init__(self, name: str, ip: IPv4Address) -> None:
+        super().__init__(name, ip)
+        self._records: Dict[str, DnsRecord] = {}
+        self.register_udp_handler(DNS_PORT, self._on_query)
+        self.query_count = 0
+
+    def add_record(self, domain: str, addresses: List[IPv4Address]) -> DnsRecord:
+        """Register a domain with its address pool."""
+        if not addresses:
+            raise NetworkError(f"domain {domain!r} needs at least one address")
+        record = DnsRecord(domain, list(addresses))
+        self._records[domain] = record
+        return record
+
+    def record_for(self, domain: str) -> DnsRecord:
+        """Look up a domain's record."""
+        try:
+            return self._records[domain]
+        except KeyError:
+            raise NetworkError(f"no DNS record for {domain!r}") from None
+
+    def rotate(self, domain: str) -> IPv4Address:
+        """Rotate a domain's answer (models cloud-side IP churn)."""
+        return self.record_for(domain).rotate()
+
+    def _on_query(self, packet: Packet) -> None:
+        domain = packet.meta.get("dns_query")
+        if domain is None:
+            return
+        self.query_count += 1
+        record = self._records.get(domain)
+        answer = [record.current()] if record is not None else []
+        response = Packet(
+            src=Endpoint(self.ip, DNS_PORT),
+            dst=packet.src,
+            protocol=Protocol.UDP,
+            payload_len=_RESPONSE_LEN,
+            meta={"dns_response": domain, "dns_answers": answer},
+        )
+        self.send(response)
+
+
+class DnsClient:
+    """Helper for hosts that resolve names.
+
+    Responses are dispatched to the callback registered for the domain;
+    a host reuses one client for all of its lookups.
+    """
+
+    def __init__(self, host: Host, server: Endpoint, port: int = 5353) -> None:
+        self.host = host
+        self.server = server
+        self._local = Endpoint(host.ip, port)
+        self._pending: Dict[str, List[Callable[[List[IPv4Address]], None]]] = {}
+        host.register_udp_handler(port, self._on_response)
+        self.queries_sent = 0
+
+    def resolve(self, domain: str, callback: Callable[[List[IPv4Address]], None]) -> None:
+        """Send a query for ``domain``; ``callback(addresses)`` on answer."""
+        self._pending.setdefault(domain, []).append(callback)
+        self.queries_sent += 1
+        query = Packet(
+            src=self._local,
+            dst=self.server,
+            protocol=Protocol.UDP,
+            payload_len=_QUERY_LEN,
+            meta={"dns_query": domain},
+        )
+        self.host.send(query)
+
+    def _on_response(self, packet: Packet) -> None:
+        domain = packet.meta.get("dns_response")
+        if domain is None:
+            return
+        waiters = self._pending.pop(domain, [])
+        answers = packet.meta.get("dns_answers", [])
+        for waiter in waiters:
+            waiter(list(answers))

@@ -1,0 +1,230 @@
+"""Hosts, the home LAN, and inline tap interposition.
+
+The topology mirrors the paper's deployment (Figure 2): smart-home
+devices and the VoiceGuard laptop share a LAN behind a WiFi router;
+cloud servers live across a WAN.  The guard laptop is installed as an
+*inline tap* on the smart speaker's IP: every packet to or from the
+speaker is delivered to the tap instead of its nominal destination, and
+the tap decides what to do with it (bridge it, terminate TCP, hold it).
+Packets the tap itself originates are routed directly, which is what
+lets it impersonate either side transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.addresses import IPv4Address
+from repro.net.packet import Packet, Protocol
+from repro.sim.random import RngHub
+from repro.sim.simulator import Simulator
+
+PacketObserver = Callable[[Packet, str], None]
+
+
+class Host:
+    """A network endpoint with one IPv4 address.
+
+    Subclasses (speakers, cloud servers, the guard) attach protocol
+    stacks via :meth:`register_tcp_stack` / :meth:`register_udp_handler`.
+    """
+
+    def __init__(self, name: str, ip: IPv4Address) -> None:
+        self.name = name
+        self.ip = ip
+        self.aliases: set = set()
+        self.network: Optional[Network] = None
+        self._tcp_stack = None  # set by TcpStack.__init__
+        self._udp_handlers: Dict[int, Callable[[Packet], None]] = {}
+        self._udp_any_port: Optional[Callable[[Packet], None]] = None
+
+    # -- wiring ---------------------------------------------------------
+    def attached(self, network: "Network") -> None:
+        """Called by :meth:`Network.attach`."""
+        self.network = network
+
+    def register_tcp_stack(self, stack) -> None:
+        """Attach the host's (single) TCP stack."""
+        if self._tcp_stack is not None:
+            raise NetworkError(f"host {self.name} already has a TCP stack")
+        self._tcp_stack = stack
+
+    @property
+    def tcp(self):
+        """The host's TCP stack (raises if none installed)."""
+        if self._tcp_stack is None:
+            raise NetworkError(f"host {self.name} has no TCP stack")
+        return self._tcp_stack
+
+    def register_udp_handler(self, port: int, handler: Callable[[Packet], None]) -> None:
+        """Register a per-port UDP handler."""
+        self._udp_handlers[port] = handler
+
+    def register_udp_any(self, handler: Callable[[Packet], None]) -> None:
+        """Receive every UDP packet delivered to this host regardless of
+        destination port/IP — needed by the transparent UDP forwarder."""
+        self._udp_any_port = handler
+
+    # -- traffic --------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Inject a packet into the network with this host as origin."""
+        if self.network is None:
+            raise NetworkError(f"host {self.name} is not attached to a network")
+        self.network.send(self, packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Deliver a packet to this host's protocol stacks."""
+        if packet.protocol is Protocol.TCP:
+            if self._tcp_stack is not None:
+                self._tcp_stack.receive(packet)
+            return
+        if self._udp_any_port is not None:
+            self._udp_any_port(packet)
+            return
+        handler = self._udp_handlers.get(packet.dst.port)
+        if handler is not None:
+            handler(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name!r}, {self.ip})"
+
+
+class TapHost(Host):
+    """A host that can receive packets addressed to *other* IPs.
+
+    The VoiceGuard laptop subclasses this; :meth:`intercept` is called
+    for every tapped packet.
+    """
+
+    def intercept(self, packet: Packet) -> None:
+        """Handle a packet diverted to this tap.  Default: bridge it."""
+        self.bridge(packet)
+
+    def bridge(self, packet: Packet) -> None:
+        """Pass a tapped packet through unchanged to its true target."""
+        if self.network is None:
+            raise NetworkError(f"tap {self.name} is not attached to a network")
+        self.network.send(self, packet)
+
+
+class Network:
+    """The simulated LAN + WAN fabric.
+
+    Latency model: a constant per-hop latency (LAN or WAN) plus a small
+    uniform jitter.  Packets between two private addresses stay on the
+    LAN; anything crossing to a public address pays the WAN latency.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngHub,
+        lan_latency: float = 0.0004,
+        wan_latency: float = 0.018,
+        jitter: float = 0.15,
+        wan_loss: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self._rng = rng.stream("net.jitter")
+        self._loss_rng = rng.stream("net.loss")
+        self.lan_latency = lan_latency
+        self.wan_latency = wan_latency
+        self.jitter = jitter
+        self.wan_loss = wan_loss  # per-packet drop probability on the WAN
+        self.packets_lost = 0
+        self._hosts: Dict[IPv4Address, Host] = {}
+        self._taps: Dict[IPv4Address, TapHost] = {}
+        self._observers: List[PacketObserver] = []
+        self._last_delivery: Dict[tuple, float] = {}
+        self.delivered_count = 0
+
+    # -- topology -------------------------------------------------------
+    def attach(self, host: Host) -> Host:
+        """Add a host to the fabric."""
+        if host.ip in self._hosts:
+            raise NetworkError(f"duplicate host IP {host.ip}")
+        self._hosts[host.ip] = host
+        host.attached(self)
+        return host
+
+    def add_alias(self, host: Host, ip: IPv4Address) -> None:
+        """Register an extra IP for ``host`` (cloud clusters expose many
+        addresses behind one domain name)."""
+        if ip in self._hosts:
+            raise NetworkError(f"alias {ip} collides with an existing host")
+        if host.ip not in self._hosts:
+            raise NetworkError("attach the host before adding aliases")
+        self._hosts[ip] = host
+        host.aliases.add(ip)
+
+    def host_for(self, ip: IPv4Address) -> Host:
+        """The host owning ``ip``."""
+        try:
+            return self._hosts[ip]
+        except KeyError:
+            raise NetworkError(f"no host with IP {ip}") from None
+
+    def install_tap(self, covered_ip: IPv4Address, tap: TapHost) -> None:
+        """Divert all of ``covered_ip``'s traffic through ``tap``.
+
+        This models plugging the VoiceGuard laptop in between the smart
+        speaker and the WiFi router.
+        """
+        if covered_ip not in self._hosts:
+            raise NetworkError(f"cannot tap unknown IP {covered_ip}")
+        if tap.ip not in self._hosts:
+            raise NetworkError("tap host must be attached to the network first")
+        self._taps[covered_ip] = tap
+
+    def remove_tap(self, covered_ip: IPv4Address) -> None:
+        """Stop diverting an IP's traffic."""
+        self._taps.pop(covered_ip, None)
+
+    def add_observer(self, observer: PacketObserver) -> None:
+        """Observe every delivered packet: ``observer(packet, "lan"|"wan")``."""
+        self._observers.append(observer)
+
+    # -- delivery -------------------------------------------------------
+    def send(self, origin: Host, packet: Packet) -> None:
+        """Route ``packet`` from ``origin``, honoring tap diversion.
+
+        A packet whose source or destination IP is covered by a tap is
+        delivered to the tap *unless the tap itself is the origin* —
+        packets a tap re-injects go straight to their true destination.
+        """
+        packet.send_time = self.sim.now
+        target = self._route(origin, packet)
+        crosses_wan = not (packet.src.ip.is_private and packet.dst.ip.is_private)
+        if crosses_wan and self.wan_loss > 0.0 and self._loss_rng.random() < self.wan_loss:
+            # Lost in transit; TCP's retransmission handles recovery.
+            self.packets_lost += 1
+            return
+        latency = self._latency(origin.ip, target.ip)
+        # Per-path FIFO: jitter never reorders packets of one flow pair,
+        # matching TCP's in-order delivery (and single-path reality).
+        key = (packet.src.ip, packet.dst.ip, packet.protocol)
+        arrival = max(self.sim.now + latency, self._last_delivery.get(key, 0.0) + 1e-6)
+        self._last_delivery[key] = arrival
+        self.sim.schedule_at(arrival, self._deliver, packet, target)
+
+    def _route(self, origin: Host, packet: Packet) -> Host:
+        for covered_ip in (packet.src.ip, packet.dst.ip):
+            tap = self._taps.get(covered_ip)
+            if tap is not None and origin is not tap:
+                return tap
+        return self.host_for(packet.dst.ip)
+
+    def _latency(self, a: IPv4Address, b: IPv4Address) -> float:
+        base = self.lan_latency if (a.is_private and b.is_private) else self.wan_latency
+        return base * (1.0 + self.jitter * float(self._rng.random()))
+
+    def _deliver(self, packet: Packet, target: Host) -> None:
+        self.delivered_count += 1
+        scope = "lan" if (packet.src.ip.is_private and packet.dst.ip.is_private) else "wan"
+        for observer in self._observers:
+            observer(packet, scope)
+        if isinstance(target, TapHost) and packet.dst.ip != target.ip:
+            target.intercept(packet)
+        else:
+            target.receive(packet)

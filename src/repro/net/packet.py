@@ -1,0 +1,100 @@
+"""Packet metadata.
+
+The reproduction models packets at exactly the granularity VoiceGuard
+observes in the real system: timestamps, endpoints, transport protocol,
+TCP flags, *payload length in bytes*, and the (cleartext) TLS record
+type from the record header.  Actual payload bytes are never modelled —
+the traffic between speaker and cloud is encrypted and the paper's
+recognizer works on lengths alone.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import NetworkError
+from repro.net.addresses import Endpoint
+
+
+class Protocol(enum.Enum):
+    """Transport protocol of a packet."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+
+class TcpFlags(enum.Flag):
+    """Subset of TCP flags the simulation distinguishes."""
+
+    NONE = 0
+    SYN = enum.auto()
+    ACK = enum.auto()
+    FIN = enum.auto()
+    RST = enum.auto()
+    PSH = enum.auto()
+    KEEPALIVE = enum.auto()  # modelled as its own flag for observability
+
+
+class TlsRecordType(enum.Enum):
+    """TLS record content type, readable in the unencrypted record header.
+
+    The paper's packet-level signatures only count records labelled
+    ``APPLICATION_DATA`` ("we only consider lengths of a subset of
+    packets that are labeled as 'Application Data' in the TLS record
+    header", Section IV-B).
+    """
+
+    NONE = "none"  # no TLS record in this segment (pure ACK, keepalive...)
+    HANDSHAKE = "handshake"
+    CHANGE_CIPHER_SPEC = "change_cipher_spec"
+    APPLICATION_DATA = "application_data"
+    ALERT = "alert"
+
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    ``payload_len`` is the application payload in bytes (what Wireshark
+    would show as the TLS record length for application-data segments).
+    ``tls_record_seq`` carries the TLS record sequence number for
+    application-data records so the receiving endpoint can detect the
+    desynchronization caused by dropped records.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    protocol: Protocol
+    payload_len: int = 0
+    flags: TcpFlags = TcpFlags.NONE
+    seq: int = 0
+    ack: int = 0
+    tls_type: TlsRecordType = TlsRecordType.NONE
+    tls_record_seq: Optional[int] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    number: int = field(default_factory=lambda: next(_packet_ids))
+    send_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.payload_len < 0:
+            raise NetworkError(f"negative payload length {self.payload_len!r}")
+
+    @property
+    def is_application_data(self) -> bool:
+        """True when the packet carries a TLS application-data record."""
+        return self.tls_type is TlsRecordType.APPLICATION_DATA and self.payload_len > 0
+
+    def brief(self) -> str:
+        """Compact human-readable one-liner (used in figure renderings)."""
+        flag_names = [flag.name for flag in TcpFlags if flag is not TcpFlags.NONE and flag in self.flags]
+        flag_text = ",".join(flag_names) if flag_names else "-"
+        return (
+            f"#{self.number} t={self.send_time:.3f} {self.src} -> {self.dst} "
+            f"{self.protocol.value} len={self.payload_len} [{flag_text}] {self.tls_type.value}"
+        )

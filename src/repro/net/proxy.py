@@ -1,0 +1,384 @@
+"""Transparent TCP proxy and UDP forwarder (the Traffic Handler's actuator).
+
+The proxy is installed inline on the smart speaker's IP (paper Figure 2:
+the laptop "sits in between the smart speaker and the home WiFi
+router").  For every TCP connection the speaker opens it terminates the
+client side — impersonating the cloud server — and opens its own spoofed
+upstream connection, then splices records between the two.  Because the
+speaker's segments are ACKed locally, the proxy can *hold* client
+records for dozens of seconds without retransmissions or keepalive
+timeouts, then either *release* them upstream (legitimate command) or
+*discard* them (malicious command).  Discarding desynchronizes the TLS
+record sequence, so the cloud closes the session the next time the
+speaker sends a record — exactly the paper's Figure 4 case III.
+
+Google Home Mini may use QUIC over UDP; the :class:`UdpForwarder` holds
+and forwards datagrams with the same policy interface.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.addresses import Endpoint, IPv4Address
+from repro.net.link import Network, TapHost
+from repro.net.packet import Packet, Protocol, TcpFlags
+from repro.net.tcp import TcpConnection, TcpStack, TcpTuning
+
+
+class ForwarderDecision(enum.Enum):
+    """Policy verdict for one client record/datagram.
+
+    ``DROP`` matters for UDP/QUIC: there is no record-sequence desync
+    to kill a blocked session, so the forwarder must keep discarding a
+    blocked flow's datagrams (QUIC would otherwise retransmit the
+    command right past the guard).
+    """
+
+    FORWARD = "forward"
+    HOLD = "hold"
+    DROP = "drop"
+
+
+_flow_ids = itertools.count(1)
+
+
+@dataclass
+class HeldRecord:
+    """A client record parked in the hold queue."""
+
+    payload_len: int
+    tls_type: object
+    tls_record_seq: Optional[int]
+    meta: dict
+    held_at: float
+
+
+@dataclass
+class ProxiedFlow:
+    """One spliced client<->server conversation.
+
+    ``client`` is the speaker-side endpoint, ``server`` the cloud-side
+    endpoint the speaker believed it was talking to.
+    """
+
+    flow_id: int
+    protocol: Protocol
+    client: Endpoint
+    server: Endpoint
+    downstream: Optional[TcpConnection] = None
+    upstream: Optional[TcpConnection] = None
+    held: List[HeldRecord] = field(default_factory=list)
+    awaiting_upstream: List[HeldRecord] = field(default_factory=list)
+    records_forwarded: int = 0
+    records_discarded: int = 0
+    closed: bool = False
+    close_reason: Optional[str] = None
+
+    @property
+    def holding(self) -> bool:
+        """Whether records are currently parked."""
+        return bool(self.held)
+
+
+# Signature of the per-record policy: (flow, packet) -> decision.
+RecordPolicy = Callable[[ProxiedFlow, Packet], ForwarderDecision]
+FlowObserver = Callable[[ProxiedFlow], None]
+SnoopObserver = Callable[[Packet], None]
+
+
+class TransparentProxy(TapHost):
+    """The guard laptop's inline packet plane.
+
+    Parameters
+    ----------
+    name, ip:
+        Host identity of the guard laptop on the LAN.
+    proxied_ports:
+        TCP destination ports to terminate (443 for both speakers).
+        Traffic to other ports (e.g. DNS/53 UDP) is bridged untouched
+        but still reported to ``snoop`` observers.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        ip: IPv4Address,
+        proxied_ports: Tuple[int, ...] = (443,),
+        tuning: Optional[TcpTuning] = None,
+    ) -> None:
+        super().__init__(name, ip)
+        self.stack = TcpStack(self)
+        self._tuning = tuning or TcpTuning()
+        self.proxied_ports = tuple(proxied_ports)
+        self.record_policy: Optional[RecordPolicy] = None
+        self.on_flow_opened: Optional[FlowObserver] = None
+        self.on_flow_closed: Optional[FlowObserver] = None
+        self._snoopers: List[SnoopObserver] = []
+        self._flows_by_downstream: Dict[Tuple[Endpoint, Endpoint], ProxiedFlow] = {}
+        self.flows: List[ProxiedFlow] = []
+        self.udp_forwarder: Optional["UdpForwarder"] = None
+        for port in self.proxied_ports:
+            self.stack.listen(port, self._accept_downstream, transparent=True, tuning=self._tuning)
+
+    # -- installation ---------------------------------------------------
+    def install(self, network: Network, covered_ip: IPv4Address) -> None:
+        """Attach to ``network`` and interpose on ``covered_ip``."""
+        if self.network is None:
+            network.attach(self)
+        network.install_tap(covered_ip, self)
+
+    def add_snooper(self, snooper: SnoopObserver) -> None:
+        """Observe every tapped packet (the guard snoops DNS this way)."""
+        self._snoopers.append(snooper)
+
+    # -- tap entry point --------------------------------------------------
+    def intercept(self, packet: Packet) -> None:
+        """Tap entry point: demux to the stack, forwarder, or bridge."""
+        for snooper in self._snoopers:
+            snooper(packet)
+        if packet.protocol is Protocol.TCP:
+            if self._belongs_to_proxy(packet):
+                self.stack.receive(packet)
+                return
+            if (
+                TcpFlags.SYN in packet.flags
+                and TcpFlags.ACK not in packet.flags
+                and packet.dst.port in self.proxied_ports
+            ):
+                self.stack.receive(packet)
+                return
+            self.bridge(packet)
+            return
+        if self.udp_forwarder is not None and self.udp_forwarder.claims(packet):
+            self.udp_forwarder.handle(packet)
+            return
+        self.bridge(packet)
+
+    def _belongs_to_proxy(self, packet: Packet) -> bool:
+        return (packet.dst, packet.src) in self.stack._connections
+
+    # -- downstream (speaker-side) ---------------------------------------
+    def _accept_downstream(self, downstream: TcpConnection) -> None:
+        flow = ProxiedFlow(
+            flow_id=next(_flow_ids),
+            protocol=Protocol.TCP,
+            client=downstream.remote,
+            server=downstream.local,
+        )
+        flow.downstream = downstream
+        self._flows_by_downstream[downstream.four_tuple] = flow
+        self.flows.append(flow)
+        downstream.on_record = lambda conn, pkt: self._on_client_record(flow, pkt)
+        downstream.on_close = lambda conn, reason: self._on_downstream_close(flow, reason)
+        downstream.on_established = lambda conn: self._open_upstream(flow)
+
+    def _open_upstream(self, flow: ProxiedFlow) -> None:
+        upstream = self.stack.connect(
+            flow.server, local_ip=flow.client.ip, tuning=self._tuning
+        )
+        flow.upstream = upstream
+        upstream.on_record = lambda conn, pkt: self._on_server_record(flow, pkt)
+        upstream.on_close = lambda conn, reason: self._on_upstream_close(flow, reason)
+        upstream.on_established = lambda conn: self._flush_awaiting(flow)
+        if self.on_flow_opened:
+            self.on_flow_opened(flow)
+
+    def _on_client_record(self, flow: ProxiedFlow, packet: Packet) -> None:
+        decision = ForwarderDecision.FORWARD
+        if self.record_policy is not None:
+            decision = self.record_policy(flow, packet)
+        if decision is ForwarderDecision.DROP:
+            flow.records_discarded += 1
+            return
+        record = HeldRecord(
+            payload_len=packet.payload_len,
+            tls_type=packet.tls_type,
+            tls_record_seq=packet.tls_record_seq,
+            meta=dict(packet.meta),
+            held_at=self.network.sim.now,
+        )
+        if decision is ForwarderDecision.HOLD:
+            flow.held.append(record)
+            return
+        self._send_upstream(flow, record)
+
+    def _send_upstream(self, flow: ProxiedFlow, record: HeldRecord) -> None:
+        upstream = flow.upstream
+        if upstream is None or not upstream.is_established:
+            flow.awaiting_upstream.append(record)
+            return
+        upstream.send_record(
+            record.payload_len,
+            record.tls_type,
+            tls_record_seq=record.tls_record_seq,
+            meta=record.meta,
+        )
+        flow.records_forwarded += 1
+
+    def _flush_awaiting(self, flow: ProxiedFlow) -> None:
+        pending, flow.awaiting_upstream = flow.awaiting_upstream, []
+        for record in pending:
+            self._send_upstream(flow, record)
+
+    # -- hold-queue control (called by the Traffic Handler) ---------------
+    def release_held(self, flow: ProxiedFlow) -> int:
+        """Forward all held records upstream in order; returns the count."""
+        held, flow.held = flow.held, []
+        for record in held:
+            self._send_upstream(flow, record)
+        return len(held)
+
+    def discard_held(self, flow: ProxiedFlow) -> int:
+        """Drop all held records; returns the count.
+
+        Subsequent client records continue to be forwarded; the cloud
+        will observe the TLS record-sequence gap and close the session.
+        """
+        held, flow.held = flow.held, []
+        flow.records_discarded += len(held)
+        return len(held)
+
+    # -- upstream (cloud-side) ---------------------------------------------
+    def _on_server_record(self, flow: ProxiedFlow, packet: Packet) -> None:
+        downstream = flow.downstream
+        if downstream is None or not downstream.is_established:
+            return
+        downstream.send_record(
+            packet.payload_len,
+            packet.tls_type,
+            tls_record_seq=packet.tls_record_seq,
+            meta=dict(packet.meta),
+        )
+
+    # -- teardown propagation ---------------------------------------------
+    def _on_downstream_close(self, flow: ProxiedFlow, reason: str) -> None:
+        self._flows_by_downstream.pop(
+            flow.downstream.four_tuple if flow.downstream else None, None
+        )
+        if flow.upstream is not None and flow.upstream.is_established:
+            if reason == "rst":
+                flow.upstream.abort("peer-rst")
+            else:
+                flow.upstream.close()
+        self._finish_flow(flow, reason)
+
+    def _on_upstream_close(self, flow: ProxiedFlow, reason: str) -> None:
+        if flow.downstream is not None and flow.downstream.is_established:
+            if reason == "rst":
+                flow.downstream.abort("peer-rst")
+            else:
+                flow.downstream.close()
+        self._finish_flow(flow, reason)
+
+    def _finish_flow(self, flow: ProxiedFlow, reason: str) -> None:
+        if flow.closed:
+            return
+        flow.closed = True
+        flow.close_reason = reason
+        if self.on_flow_closed:
+            self.on_flow_closed(flow)
+
+    # -- stats --------------------------------------------------------------
+    @property
+    def open_flow_count(self) -> int:
+        """Flows not yet closed."""
+        return sum(1 for flow in self.flows if not flow.closed)
+
+
+class UdpForwarder:
+    """Hold/forward policy for the speaker's UDP (QUIC) datagrams.
+
+    Client→server datagrams pass through the record policy; server→client
+    datagrams are always forwarded immediately.
+    """
+
+    def __init__(self, proxy: TransparentProxy, covered_ip: IPv4Address, ports: Tuple[int, ...] = (443,)) -> None:
+        self.proxy = proxy
+        self.covered_ips = {covered_ip}
+        self.ports = tuple(ports)
+        self._flows: Dict[Tuple[Endpoint, Endpoint], ProxiedFlow] = {}
+        proxy.udp_forwarder = self
+
+    def add_covered(self, ip: IPv4Address) -> None:
+        """Also forward for another speaker IP (multi-speaker homes)."""
+        self.covered_ips.add(ip)
+
+    def claims(self, packet: Packet) -> bool:
+        """Whether this datagram belongs to the forwarder."""
+        if packet.protocol is not Protocol.UDP:
+            return False
+        if packet.src.ip in self.covered_ips and packet.dst.port in self.ports:
+            return True
+        return packet.dst.ip in self.covered_ips and packet.src.port in self.ports
+
+    def handle(self, packet: Packet) -> None:
+        """Process one claimed datagram."""
+        if packet.src.ip in self.covered_ips:
+            self._handle_client(packet)
+        else:
+            self.proxy.bridge(packet)
+
+    def _handle_client(self, packet: Packet) -> None:
+        key = (packet.src, packet.dst)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = ProxiedFlow(
+                flow_id=next(_flow_ids),
+                protocol=Protocol.UDP,
+                client=packet.src,
+                server=packet.dst,
+            )
+            self._flows[key] = flow
+            self.proxy.flows.append(flow)
+            if self.proxy.on_flow_opened:
+                self.proxy.on_flow_opened(flow)
+        decision = ForwarderDecision.FORWARD
+        if self.proxy.record_policy is not None:
+            decision = self.proxy.record_policy(flow, packet)
+        if decision is ForwarderDecision.DROP:
+            flow.records_discarded += 1
+            return
+        record = HeldRecord(
+            payload_len=packet.payload_len,
+            tls_type=packet.tls_type,
+            tls_record_seq=packet.tls_record_seq,
+            meta=dict(packet.meta),
+            held_at=self.proxy.network.sim.now,
+        )
+        if decision is ForwarderDecision.HOLD:
+            flow.held.append(record)
+        else:
+            self._forward(flow, record)
+
+    def _forward(self, flow: ProxiedFlow, record: HeldRecord) -> None:
+        datagram = Packet(
+            src=flow.client,
+            dst=flow.server,
+            protocol=Protocol.UDP,
+            payload_len=record.payload_len,
+            tls_type=record.tls_type,
+            tls_record_seq=record.tls_record_seq,
+            meta=dict(record.meta),
+        )
+        self.proxy.send(datagram)
+        flow.records_forwarded += 1
+
+    def release_held(self, flow: ProxiedFlow) -> int:
+        """Forward all held datagrams in order."""
+        if flow.protocol is not Protocol.UDP:
+            raise NetworkError("release_held on a non-UDP flow; use the proxy")
+        held, flow.held = flow.held, []
+        for record in held:
+            self._forward(flow, record)
+        return len(held)
+
+    def discard_held(self, flow: ProxiedFlow) -> int:
+        """Drop all held datagrams."""
+        held, flow.held = flow.held, []
+        flow.records_discarded += len(held)
+        return len(held)

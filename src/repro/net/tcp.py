@@ -1,0 +1,485 @@
+"""Simplified but stateful TCP.
+
+The model keeps exactly the machinery the paper's Traffic Handler
+depends on:
+
+* a three-way handshake, so connection establishment is observable as
+  packets (the AVS *connection signature* rides on the first data
+  segments after the handshake);
+* sequence/acknowledgement numbers with retransmission and a bounded
+  number of retries, so a middlebox that silently drops packets (the
+  firewall baseline) kills the connection, while one that ACKs locally
+  (the transparent proxy) keeps it alive for dozens of seconds;
+* keepalive probes, which the proxy must answer during a hold;
+* FIN/RST teardown, so a TLS-level violation can close the session and
+  the speaker can observably reconnect.
+
+Endpoints communicate only through packets on the network — there is no
+shared connection object — which is what allows a transparent proxy to
+terminate one side and impersonate the other.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConnectionClosedError, NetworkError
+from repro.net.addresses import Endpoint
+from repro.net.link import Host
+from repro.net.packet import Packet, Protocol, TcpFlags, TlsRecordType
+
+
+class TcpState(enum.Enum):
+    """Connection states (simplified TCP)."""
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn_sent"
+    SYN_RCVD = "syn_rcvd"
+    ESTABLISHED = "established"
+    FIN_WAIT = "fin_wait"
+    CLOSE_WAIT = "close_wait"
+
+
+@dataclass
+class _Unacked:
+    """A sent-but-unacknowledged segment awaiting ACK or retransmit."""
+
+    seq_end: int
+    packet: Packet
+    retries: int = 0
+
+
+@dataclass
+class TcpTuning:
+    """Timer knobs; defaults approximate consumer-device stacks."""
+
+    rto: float = 1.0
+    max_retries: int = 5
+    keepalive_idle: float = 45.0
+    keepalive_interval: float = 5.0
+    keepalive_probes: int = 3
+    delayed_ack: float = 0.0005
+
+
+class TcpConnection:
+    """One side of a TCP connection.
+
+    Application hooks:
+
+    ``on_established(conn)``
+        fired when the handshake completes,
+    ``on_record(conn, packet)``
+        fired for every received data segment,
+    ``on_close(conn, reason)``
+        fired once when the connection leaves ESTABLISHED for good.
+        ``reason`` is one of ``"fin"``, ``"rst"``, ``"timeout"``,
+        ``"local"``.
+    """
+
+    def __init__(
+        self,
+        stack: "TcpStack",
+        local: Endpoint,
+        remote: Endpoint,
+        tuning: Optional[TcpTuning] = None,
+    ) -> None:
+        self.stack = stack
+        self.local = local
+        self.remote = remote
+        self.tuning = tuning or TcpTuning()
+        self.state = TcpState.CLOSED
+        self.on_established: Optional[Callable[[TcpConnection], None]] = None
+        self.on_record: Optional[Callable[[TcpConnection, Packet], None]] = None
+        self.on_close: Optional[Callable[[TcpConnection, str], None]] = None
+
+        self.snd_next = 0
+        self.rcv_next = 0
+        self._unacked: List[_Unacked] = []
+        self._out_of_order: dict = {}  # seq -> data packet awaiting gap fill
+        self._recovering = False
+        self._rto_handle = None
+        self._keepalive_handle = None
+        self._probes_sent = 0
+        self._last_rx_time = 0.0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.retransmissions = 0
+        self.close_reason: Optional[str] = None
+
+    # -- identity -------------------------------------------------------
+    @property
+    def sim(self):
+        """The simulator this connection runs on."""
+        return self.stack.host.network.sim
+
+    @property
+    def four_tuple(self) -> Tuple[Endpoint, Endpoint]:
+        """(local, remote) endpoints identifying the connection."""
+        return (self.local, self.remote)
+
+    @property
+    def is_established(self) -> bool:
+        """Whether data can currently be sent."""
+        return self.state is TcpState.ESTABLISHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TcpConnection({self.local} <-> {self.remote}, {self.state.value})"
+
+    # -- opening --------------------------------------------------------
+    def open_active(self) -> None:
+        """Client side: send SYN."""
+        if self.state is not TcpState.CLOSED:
+            raise NetworkError(f"cannot open connection in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        self._transmit(self._make_packet(flags=TcpFlags.SYN))
+        self._arm_rto()
+
+    # -- sending --------------------------------------------------------
+    def send_record(
+        self,
+        payload_len: int,
+        tls_type: TlsRecordType = TlsRecordType.APPLICATION_DATA,
+        tls_record_seq: Optional[int] = None,
+        meta: Optional[dict] = None,
+    ) -> Packet:
+        """Send one TLS record as a data segment."""
+        if self.state is not TcpState.ESTABLISHED:
+            raise ConnectionClosedError(
+                f"send on {self.local}->{self.remote} in state {self.state.value}"
+            )
+        packet = self._make_packet(
+            flags=TcpFlags.PSH | TcpFlags.ACK,
+            payload_len=payload_len,
+            tls_type=tls_type,
+            tls_record_seq=tls_record_seq,
+        )
+        if meta:
+            packet.meta.update(meta)
+        self.snd_next += payload_len
+        self.bytes_sent += payload_len
+        self._unacked.append(_Unacked(seq_end=self.snd_next, packet=packet))
+        self._transmit(packet)
+        self._arm_rto()
+        return packet
+
+    def close(self) -> None:
+        """Orderly local close (FIN)."""
+        if self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT, TcpState.SYN_RCVD):
+            self._transmit(self._make_packet(flags=TcpFlags.FIN | TcpFlags.ACK))
+            previous = self.state
+            self.state = TcpState.FIN_WAIT
+            if previous is TcpState.CLOSE_WAIT:
+                self._finish("fin")
+
+    def abort(self, reason: str = "local") -> None:
+        """Send RST and drop all state immediately."""
+        if self.state not in (TcpState.CLOSED,):
+            try:
+                self._transmit(self._make_packet(flags=TcpFlags.RST))
+            finally:
+                self._finish(reason)
+
+    # -- receiving ------------------------------------------------------
+    def handle(self, packet: Packet) -> None:
+        """Process one inbound packet for this connection."""
+        self._last_rx_time = self.sim.now
+        self._probes_sent = 0
+        flags = packet.flags
+
+        if TcpFlags.RST in flags:
+            self._finish("rst")
+            return
+
+        if self.state is TcpState.SYN_SENT:
+            if TcpFlags.SYN in flags and TcpFlags.ACK in flags:
+                self.state = TcpState.ESTABLISHED
+                self._cancel_rto()
+                self._unacked.clear()
+                self._transmit(self._make_packet(flags=TcpFlags.ACK))
+                self._arm_keepalive()
+                if self.on_established:
+                    self.on_established(self)
+            return
+
+        if self.state is TcpState.SYN_RCVD:
+            if TcpFlags.ACK in flags:
+                self.state = TcpState.ESTABLISHED
+                self._arm_keepalive()
+                if self.on_established:
+                    self.on_established(self)
+            # fall through: the ACK may carry data in theory; ours never do
+            if packet.payload_len == 0:
+                return
+
+        if TcpFlags.KEEPALIVE in flags:
+            # Answer the probe with a bare ACK.
+            self._transmit(self._make_packet(flags=TcpFlags.ACK))
+            return
+
+        if TcpFlags.ACK in flags:
+            self._process_ack(packet.ack)
+
+        if packet.payload_len > 0:
+            self._receive_data(packet)
+
+        if TcpFlags.FIN in flags:
+            if self.state is TcpState.ESTABLISHED:
+                self.state = TcpState.CLOSE_WAIT
+                self._transmit(self._make_packet(flags=TcpFlags.ACK))
+                # Consumer devices close promptly in response.
+                self._transmit(self._make_packet(flags=TcpFlags.FIN | TcpFlags.ACK))
+                self._finish("fin")
+            elif self.state is TcpState.FIN_WAIT:
+                self._transmit(self._make_packet(flags=TcpFlags.ACK))
+                self._finish("fin")
+
+    # -- internals ------------------------------------------------------
+    def _make_packet(
+        self,
+        flags: TcpFlags,
+        payload_len: int = 0,
+        tls_type: TlsRecordType = TlsRecordType.NONE,
+        tls_record_seq: Optional[int] = None,
+    ) -> Packet:
+        return Packet(
+            src=self.local,
+            dst=self.remote,
+            protocol=Protocol.TCP,
+            payload_len=payload_len,
+            flags=flags,
+            seq=self.snd_next,
+            ack=self.rcv_next,
+            tls_type=tls_type,
+            tls_record_seq=tls_record_seq,
+        )
+
+    def _transmit(self, packet: Packet) -> None:
+        self.stack.host.send(packet)
+
+    def _receive_data(self, packet: Packet) -> None:
+        """In-order delivery with reordering and duplicate suppression.
+
+        Out-of-order segments (earlier ones were dropped by a middlebox
+        and are being retransmitted) are buffered and delivered once the
+        gap fills; duplicates of already-delivered data are only ACKed.
+        """
+        if packet.seq > self.rcv_next:
+            self._out_of_order.setdefault(packet.seq, packet)
+            self._transmit(self._make_packet(flags=TcpFlags.ACK))
+            return
+        if packet.seq < self.rcv_next:
+            # Duplicate of delivered data: re-ACK, do not re-deliver.
+            self._transmit(self._make_packet(flags=TcpFlags.ACK))
+            return
+        self._deliver(packet)
+        while self.rcv_next in self._out_of_order:
+            self._deliver(self._out_of_order.pop(self.rcv_next))
+        self._transmit(self._make_packet(flags=TcpFlags.ACK))
+
+    def _deliver(self, packet: Packet) -> None:
+        self.rcv_next = packet.seq + packet.payload_len
+        self.bytes_received += packet.payload_len
+        if self.on_record and self.state in (TcpState.ESTABLISHED, TcpState.FIN_WAIT):
+            self.on_record(self, packet)
+
+    def _process_ack(self, ack: int) -> None:
+        before = len(self._unacked)
+        self._unacked = [seg for seg in self._unacked if seg.seq_end > ack]
+        if len(self._unacked) != before:
+            if self._unacked:
+                self._arm_rto(restart=True)
+                if self._recovering:
+                    # Go-back-N style recovery: once an ACK confirms a
+                    # retransmission landed, resend the next hole right
+                    # away instead of waiting a full RTO.
+                    self._retransmit_head()
+            else:
+                self._recovering = False
+                self._cancel_rto()
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if self._rto_handle is not None:
+            if not restart:
+                return
+            self._rto_handle.cancel()
+        self._rto_handle = self.sim.schedule(self.tuning.rto, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+
+    def _on_rto(self) -> None:
+        self._rto_handle = None
+        if self.state is TcpState.SYN_SENT:
+            self._transmit(self._make_packet(flags=TcpFlags.SYN))
+            self._arm_rto()
+            return
+        if not self._unacked:
+            return
+        self._recovering = True
+        self._retransmit_head()
+        self._arm_rto()
+
+    def _retransmit_head(self) -> None:
+        if not self._unacked:
+            return
+        segment = self._unacked[0]
+        segment.retries += 1
+        if segment.retries > self.tuning.max_retries:
+            self.abort("timeout")
+            return
+        self.retransmissions += 1
+        retransmit = Packet(
+            src=segment.packet.src,
+            dst=segment.packet.dst,
+            protocol=Protocol.TCP,
+            payload_len=segment.packet.payload_len,
+            flags=segment.packet.flags,
+            seq=segment.packet.seq,
+            ack=self.rcv_next,
+            tls_type=segment.packet.tls_type,
+            tls_record_seq=segment.packet.tls_record_seq,
+            meta=dict(segment.packet.meta, retransmission=True),
+        )
+        self._transmit(retransmit)
+
+    def _arm_keepalive(self) -> None:
+        if self._keepalive_handle is not None:
+            self._keepalive_handle.cancel()
+        self._keepalive_handle = self.sim.schedule(
+            self.tuning.keepalive_idle, self._on_keepalive_timer
+        )
+
+    def _on_keepalive_timer(self) -> None:
+        self._keepalive_handle = None
+        if self.state is not TcpState.ESTABLISHED:
+            return
+        idle = self.sim.now - self._last_rx_time
+        remaining = self.tuning.keepalive_idle - idle
+        if remaining > 1e-6:
+            # Traffic arrived since; re-arm for the remainder (floored
+            # so float residue cannot freeze simulated time).
+            self._keepalive_handle = self.sim.schedule(
+                max(remaining, 0.05), self._on_keepalive_timer
+            )
+            return
+        if self._probes_sent >= self.tuning.keepalive_probes:
+            self.abort("timeout")
+            return
+        self._probes_sent += 1
+        self._transmit(self._make_packet(flags=TcpFlags.KEEPALIVE | TcpFlags.ACK))
+        self._keepalive_handle = self.sim.schedule(
+            self.tuning.keepalive_interval, self._on_keepalive_timer
+        )
+
+    def _finish(self, reason: str) -> None:
+        if self.state is TcpState.CLOSED:
+            return
+        self.state = TcpState.CLOSED
+        self.close_reason = reason
+        self._cancel_rto()
+        if self._keepalive_handle is not None:
+            self._keepalive_handle.cancel()
+            self._keepalive_handle = None
+        self._unacked.clear()
+        self.stack.forget(self)
+        if self.on_close:
+            self.on_close(self, reason)
+
+
+@dataclass
+class _Listener:
+    port: int
+    accept: Callable[[TcpConnection], None]
+    transparent: bool = False
+    tuning: Optional[TcpTuning] = None
+
+
+class TcpStack:
+    """Per-host TCP demultiplexer.
+
+    Supports *transparent* listeners (accepting SYNs addressed to other
+    hosts' IPs) and spoofed local endpoints for outgoing connections —
+    the two capabilities a transparent proxy needs.
+    """
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        host.register_tcp_stack(self)
+        self._connections: Dict[Tuple[Endpoint, Endpoint], TcpConnection] = {}
+        self._listeners: Dict[int, _Listener] = {}
+        self._ephemeral = 49200
+
+    # -- API ------------------------------------------------------------
+    def listen(
+        self,
+        port: int,
+        accept: Callable[[TcpConnection], None],
+        transparent: bool = False,
+        tuning: Optional[TcpTuning] = None,
+    ) -> None:
+        """Accept connections on ``port`` (optionally transparently)."""
+        if port in self._listeners:
+            raise NetworkError(f"port {port} already listening on {self.host.name}")
+        self._listeners[port] = _Listener(port, accept, transparent, tuning)
+
+    def connect(
+        self,
+        remote: Endpoint,
+        local_ip=None,
+        tuning: Optional[TcpTuning] = None,
+    ) -> TcpConnection:
+        """Open a client connection; ``local_ip`` may spoof another host."""
+        ip = local_ip if local_ip is not None else self.host.ip
+        local = Endpoint(ip, self._next_port())
+        connection = TcpConnection(self, local, remote, tuning)
+        self._connections[connection.four_tuple] = connection
+        connection.open_active()
+        return connection
+
+    def forget(self, connection: TcpConnection) -> None:
+        """Drop a closed connection from the demux table."""
+        self._connections.pop(connection.four_tuple, None)
+
+    @property
+    def connection_count(self) -> int:
+        """Live connections in the demux table."""
+        return len(self._connections)
+
+    # -- demux ----------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        """Demultiplex one inbound TCP packet."""
+        key = (packet.dst, packet.src)
+        connection = self._connections.get(key)
+        if connection is not None:
+            connection.handle(packet)
+            return
+        if TcpFlags.SYN in packet.flags and TcpFlags.ACK not in packet.flags:
+            self._accept_syn(packet)
+        # Anything else for an unknown connection is silently ignored, as
+        # a real host would answer with RST; the simulation has no
+        # scanners, so the distinction never matters.
+
+    def _accept_syn(self, packet: Packet) -> None:
+        listener = self._listeners.get(packet.dst.port)
+        if listener is None:
+            return
+        local_ips = {self.host.ip} | self.host.aliases
+        if not listener.transparent and packet.dst.ip not in local_ips:
+            return
+        connection = TcpConnection(self, packet.dst, packet.src, listener.tuning)
+        connection.state = TcpState.SYN_RCVD
+        self._connections[connection.four_tuple] = connection
+        listener.accept(connection)
+        connection._transmit(
+            connection._make_packet(flags=TcpFlags.SYN | TcpFlags.ACK)
+        )
+
+    def _next_port(self) -> int:
+        self._ephemeral += 1
+        if self._ephemeral > 65000:
+            self._ephemeral = 49201
+        return self._ephemeral

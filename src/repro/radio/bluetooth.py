@@ -1,0 +1,125 @@
+"""Bluetooth beacon and scanner.
+
+Smart speakers keep Bluetooth enabled for audio casting (Section II-A);
+the guard exploits this by having the owner's phone/watch *scan* for
+the speaker's advertisements and report the RSSI.  A scan is not
+instantaneous: BLE advertising intervals mean the scanner needs several
+hundred milliseconds to catch enough advertisement frames, which is a
+visible component of the paper's Figure 7 query-latency distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.radio.geometry import Point
+from repro.radio.propagation import PropagationModel
+from repro.sim.random import bounded_lognormal
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class RssiSample:
+    """One reported measurement of a beacon's signal strength."""
+
+    rssi: float
+    time: float
+    beacon_name: str
+    scanner_name: str
+
+
+class BluetoothBeacon:
+    """The speaker side: an advertising Bluetooth radio at a position."""
+
+    def __init__(self, name: str, position: Point) -> None:
+        self.name = name
+        self.position = position
+
+    def move_to(self, position: Point) -> None:
+        """Relocate the beacon."""
+        self.position = position
+
+
+class BluetoothScanner:
+    """The phone/watch side: measures a beacon's RSSI.
+
+    ``position_provider`` returns the scanner's current location (the
+    carrying person moves); ``body_blocked_provider`` optionally reports
+    whether the carrier's body currently shadows the radio path.
+    """
+
+    # Scan-time model: BLE scans need to catch advertisement frames.
+    SCAN_MEAN = 0.62
+    SCAN_SIGMA = 0.50
+    SCAN_MIN = 0.25
+    SCAN_MAX = 2.8
+    # 2.4 GHz coexistence: while the speaker is streaming audio over
+    # WiFi, BLE advertisements get squeezed and scans take longer.
+    INTERFERENCE_FACTOR = 1.5
+
+    def __init__(
+        self,
+        name: str,
+        model: PropagationModel,
+        position_provider: Callable[[], Point],
+        rng: np.random.Generator,
+        body_blocked_provider: Optional[Callable[[], bool]] = None,
+        interference_provider: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        self.name = name
+        self.model = model
+        self.position_provider = position_provider
+        self.body_blocked_provider = body_blocked_provider
+        self.interference_provider = interference_provider
+        self._rng = rng
+        self.scan_count = 0
+
+    def instant_rssi(self, beacon: BluetoothBeacon, time: float) -> RssiSample:
+        """A single immediate measurement (used for trace recording,
+        where the app samples every 0.2 s)."""
+        blocked = bool(self.body_blocked_provider()) if self.body_blocked_provider else False
+        rssi = self.model.sample_rssi(
+            beacon.position, self.position_provider(), self._rng, body_blocked=blocked
+        )
+        return RssiSample(rssi=rssi, time=time, beacon_name=beacon.name, scanner_name=self.name)
+
+    # A scan window catches several advertisement frames; the reported
+    # RSSI is their average, which is much steadier than one frame.
+    FRAMES_PER_SCAN = 3
+
+    def scan(
+        self,
+        sim: Simulator,
+        beacon: BluetoothBeacon,
+        callback: Callable[[RssiSample], None],
+    ) -> float:
+        """Start an asynchronous scan; ``callback(sample)`` on completion.
+
+        Returns the scan duration that was drawn (useful for tests).
+        The reported RSSI averages the advertisement frames caught
+        during the window, measured at scan-completion position.
+        """
+        duration = bounded_lognormal(
+            self._rng, self.SCAN_MEAN, self.SCAN_SIGMA, self.SCAN_MIN, self.SCAN_MAX
+        )
+        if self.interference_provider is not None and self.interference_provider():
+            duration = min(duration * self.INTERFERENCE_FACTOR, self.SCAN_MAX * 1.5)
+        self.scan_count += 1
+
+        def finish() -> None:
+            frames = [
+                self.instant_rssi(beacon, sim.now).rssi
+                for _ in range(self.FRAMES_PER_SCAN)
+            ]
+            callback(RssiSample(
+                rssi=float(sum(frames) / len(frames)),
+                time=sim.now,
+                beacon_name=beacon.name,
+                scanner_name=self.name,
+            ))
+
+        sim.schedule(duration, finish)
+        return duration

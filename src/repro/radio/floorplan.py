@@ -1,0 +1,263 @@
+"""Floor plans: rooms, walls with doors, measurement grids.
+
+A :class:`FloorPlan` is a set of axis-aligned rooms on one or more
+floors, a set of walls (with door openings), and a numbered grid of
+measurement points — the paper numbers every location it measured
+(1-78 in the house, 1-54 in the apartment, 1-70 in the office) and
+refers to routes by those numbers, so the reproduction does too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FloorPlanError
+from repro.radio.geometry import (
+    Point,
+    count_floor_crossings,
+    floor_crossing_points,
+    point_in_rect,
+    segment_crosses_wall,
+)
+
+FLOOR_HEIGHT = 3.0  # metres between storeys
+DEVICE_CARRY_HEIGHT = 1.0  # phones/watches carried about a metre up
+
+
+@dataclass(frozen=True)
+class Door:
+    """An opening in a wall, as a (start, end) interval along the wall
+    expressed as fractions 0..1 of the wall's length."""
+
+    u_start: float
+    u_end: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.u_start < self.u_end <= 1.0:
+            raise FloorPlanError(f"invalid door interval ({self.u_start}, {self.u_end})")
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A vertical wall: a 2-D segment extruded from z_low to z_high."""
+
+    start: Tuple[float, float]
+    end: Tuple[float, float]
+    z_low: float
+    z_high: float
+    doors: Tuple[Door, ...] = ()
+
+    def crossed_by(self, a: Point, b: Point) -> bool:
+        """Whether the segment a->b penetrates this wall (doors excluded)."""
+        openings = [(door.u_start, door.u_end) for door in self.doors]
+        return segment_crosses_wall(a, b, self.start, self.end, self.z_low, self.z_high, openings)
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned room on one floor.
+
+    ``height`` defaults to one storey; stairwells that pierce the slab
+    (so their upper measurement points are still "in" the room) use a
+    taller value.
+    """
+
+    name: str
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    floor: int  # 0 = ground floor
+    height: float = FLOOR_HEIGHT
+
+    def __post_init__(self) -> None:
+        if self.x0 >= self.x1 or self.y0 >= self.y1:
+            raise FloorPlanError(f"room {self.name!r} has non-positive extent")
+        if self.height <= 0:
+            raise FloorPlanError(f"room {self.name!r} has non-positive height")
+
+    @property
+    def z_floor(self) -> float:
+        """The z coordinate of this room's floor."""
+        return self.floor * FLOOR_HEIGHT
+
+    def contains(self, point: Point) -> bool:
+        """Whether a point lies inside the room's volume."""
+        if not point_in_rect(point, self.x0, self.y0, self.x1, self.y1):
+            return False
+        return self.z_floor - 1e-9 <= point.z <= self.z_floor + self.height + 1e-9
+
+    def center(self, height: float = DEVICE_CARRY_HEIGHT) -> Point:
+        """The room's center at carrying height."""
+        return Point((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2, self.z_floor + height)
+
+    def grid(self, nx: int, ny: int, height: float = DEVICE_CARRY_HEIGHT) -> List[Point]:
+        """``nx * ny`` evenly spaced interior points, row-major."""
+        points = []
+        for iy in range(ny):
+            for ix in range(nx):
+                x = self.x0 + (ix + 0.5) * (self.x1 - self.x0) / nx
+                y = self.y0 + (iy + 0.5) * (self.y1 - self.y0) / ny
+                points.append(Point(x, y, self.z_floor + height))
+        return points
+
+
+@dataclass(frozen=True)
+class SlabZone:
+    """A locally weak region of a floor slab (duct, void, stair opening).
+
+    A radio path piercing the slab inside this rectangle suffers
+    ``attenuation`` instead of the model's default per-floor penalty.
+    The paper's house exhibits exactly this: the room directly above the
+    speaker reads above the RSSI threshold (locations #55, #56, #59-62)
+    while the rest of the upper floor reads far below it.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    slab_height: float  # z of the slab this zone belongs to
+    attenuation: float  # replaces the default floor penalty
+
+    def covers(self, x: float, y: float, slab_height: float) -> bool:
+        """Whether a slab crossing at (x, y) falls in this zone."""
+        if abs(slab_height - self.slab_height) > 1e-6:
+            return False
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+
+@dataclass(frozen=True)
+class MeasurementPoint:
+    """A numbered location from the paper's figures."""
+
+    number: int
+    point: Point
+    room_name: str
+
+
+class FloorPlan:
+    """A building: rooms + walls + numbered measurement points."""
+
+    def __init__(self, name: str, floor_count: int = 1) -> None:
+        if floor_count < 1:
+            raise FloorPlanError(f"floor_count must be >= 1, got {floor_count!r}")
+        self.name = name
+        self.floor_count = floor_count
+        self.rooms: Dict[str, Room] = {}
+        self.walls: List[Wall] = []
+        self.points: Dict[int, MeasurementPoint] = {}
+        self.slab_zones: List[SlabZone] = []
+
+    # -- construction -----------------------------------------------------
+    def add_room(self, room: Room) -> Room:
+        """Add a room (unique name, valid floor)."""
+        if room.name in self.rooms:
+            raise FloorPlanError(f"duplicate room name {room.name!r}")
+        if not 0 <= room.floor < self.floor_count:
+            raise FloorPlanError(f"room {room.name!r} on invalid floor {room.floor}")
+        self.rooms[room.name] = room
+        return room
+
+    def add_wall(
+        self,
+        start: Tuple[float, float],
+        end: Tuple[float, float],
+        floor: int = 0,
+        doors: Tuple[Door, ...] = (),
+    ) -> Wall:
+        """Add a wall on ``floor`` with optional door openings."""
+        z_low = floor * FLOOR_HEIGHT
+        wall = Wall(start=start, end=end, z_low=z_low, z_high=z_low + FLOOR_HEIGHT, doors=doors)
+        self.walls.append(wall)
+        return wall
+
+    def add_slab_zone(self, zone: SlabZone) -> SlabZone:
+        """Register a weak slab region (see :class:`SlabZone`)."""
+        if zone.slab_height not in self.floor_heights:
+            raise FloorPlanError(
+                f"slab zone height {zone.slab_height} matches no floor slab"
+            )
+        self.slab_zones.append(zone)
+        return zone
+
+    def add_points(self, room_name: str, points: List[Point]) -> List[MeasurementPoint]:
+        """Append numbered measurement points (numbering continues)."""
+        if room_name not in self.rooms:
+            raise FloorPlanError(f"unknown room {room_name!r}")
+        added = []
+        next_number = max(self.points) + 1 if self.points else 1
+        for offset, point in enumerate(points):
+            mp = MeasurementPoint(next_number + offset, point, room_name)
+            self.points[mp.number] = mp
+            added.append(mp)
+        return added
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def floor_heights(self) -> List[float]:
+        """Z coordinates of the slabs between floors."""
+        return [FLOOR_HEIGHT * level for level in range(1, self.floor_count)]
+
+    def point(self, number: int) -> MeasurementPoint:
+        """Look up a numbered measurement point."""
+        try:
+            return self.points[number]
+        except KeyError:
+            raise FloorPlanError(f"{self.name} has no measurement point #{number}") from None
+
+    def points_in_room(self, room_name: str) -> List[MeasurementPoint]:
+        """Measurement points inside a room."""
+        return [mp for mp in self.points.values() if mp.room_name == room_name]
+
+    def room_of(self, point: Point) -> Optional[Room]:
+        """The room containing ``point``, if any."""
+        for room in self.rooms.values():
+            if room.contains(point):
+                return room
+        return None
+
+    def floor_of(self, point: Point) -> int:
+        """Which storey a point is on (by height)."""
+        level = int(point.z // FLOOR_HEIGHT)
+        return max(0, min(level, self.floor_count - 1))
+
+    def walls_crossed(self, a: Point, b: Point) -> int:
+        """Number of walls the straight path a->b penetrates."""
+        return sum(1 for wall in self.walls if wall.crossed_by(a, b))
+
+    def floors_crossed(self, a: Point, b: Point) -> int:
+        """Number of slabs the segment a->b pierces."""
+        return count_floor_crossings(a, b, self.floor_heights)
+
+    def slab_penalties(self, a: Point, b: Point, default_penalty: float) -> float:
+        """Total floor-slab attenuation along the path a->b.
+
+        Each slab crossing costs ``default_penalty`` unless it pierces
+        a registered weak :class:`SlabZone`, whose ``attenuation``
+        applies instead.
+        """
+        total = 0.0
+        for x, y, slab_height in floor_crossing_points(a, b, self.floor_heights):
+            penalty = default_penalty
+            for zone in self.slab_zones:
+                if zone.covers(x, y, slab_height):
+                    penalty = zone.attenuation
+                    break
+            total += penalty
+        return total
+
+    def same_room(self, a: Point, b: Point) -> bool:
+        """Whether two points share a room."""
+        room_a, room_b = self.room_of(a), self.room_of(b)
+        return room_a is not None and room_a is room_b
+
+    def validate(self) -> None:
+        """Sanity-check plan consistency; raises on problems."""
+        for number, mp in self.points.items():
+            room = self.rooms.get(mp.room_name)
+            if room is None or not room.contains(mp.point):
+                raise FloorPlanError(
+                    f"measurement point #{number} is not inside room {mp.room_name!r}"
+                )

@@ -1,0 +1,140 @@
+"""Minimal 3-D geometry for indoor propagation.
+
+Walls are vertical rectangles: a 2-D segment extruded over a height
+range.  The only geometric question propagation asks is: does the
+straight line between transmitter and receiver cross this wall (outside
+its door openings)?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in metres; ``z`` is height above the ground floor."""
+
+    x: float
+    y: float
+    z: float = 1.0
+
+    def offset(self, dx: float = 0.0, dy: float = 0.0, dz: float = 0.0) -> "Point":
+        """A new point displaced by (dx, dy, dz)."""
+        return Point(self.x + dx, self.y + dy, self.z + dz)
+
+    def lerp(self, other: "Point", t: float) -> "Point":
+        """Linear interpolation: ``t=0`` is self, ``t=1`` is other."""
+        return Point(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+            self.z + (other.z - self.z) * t,
+        )
+
+    def xy(self) -> Tuple[float, float]:
+        """The (x, y) projection."""
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean 3-D distance in metres."""
+    return math.sqrt((a.x - b.x) ** 2 + (a.y - b.y) ** 2 + (a.z - b.z) ** 2)
+
+
+def _segment_intersection_2d(
+    p1: Tuple[float, float],
+    p2: Tuple[float, float],
+    q1: Tuple[float, float],
+    q2: Tuple[float, float],
+) -> Optional[Tuple[float, float]]:
+    """Intersection parameters ``(t, u)`` of segments p and q, or None.
+
+    ``t`` parametrizes p (0..1), ``u`` parametrizes q (0..1).
+    Collinear overlaps return None: a ray sliding along a wall face is
+    not treated as crossing it.
+    """
+    rx, ry = p2[0] - p1[0], p2[1] - p1[1]
+    sx, sy = q2[0] - q1[0], q2[1] - q1[1]
+    denom = rx * sy - ry * sx
+    if abs(denom) < 1e-12:
+        return None
+    qpx, qpy = q1[0] - p1[0], q1[1] - p1[1]
+    t = (qpx * sy - qpy * sx) / denom
+    u = (qpx * ry - qpy * rx) / denom
+    if -1e-9 <= t <= 1 + 1e-9 and -1e-9 <= u <= 1 + 1e-9:
+        return (t, u)
+    return None
+
+
+def segment_crosses_wall(
+    a: Point,
+    b: Point,
+    wall_start: Tuple[float, float],
+    wall_end: Tuple[float, float],
+    z_low: float,
+    z_high: float,
+    openings: Optional[List[Tuple[float, float]]] = None,
+) -> bool:
+    """True if the 3-D segment a->b passes through the wall rectangle.
+
+    ``openings`` are (u_start, u_end) intervals along the wall segment
+    (0..1) that are open (doors); a crossing inside an opening does not
+    count, matching the paper's line-of-sight locations seen through a
+    doorway.
+    """
+    hit = _segment_intersection_2d(a.xy(), b.xy(), wall_start, wall_end)
+    if hit is None:
+        return False
+    t, u = hit
+    z_at_crossing = a.z + (b.z - a.z) * t
+    if not (z_low - 1e-9 <= z_at_crossing <= z_high + 1e-9):
+        return False
+    if openings:
+        for u_start, u_end in openings:
+            if u_start - 1e-9 <= u <= u_end + 1e-9:
+                return False
+    return True
+
+
+def count_floor_crossings(a: Point, b: Point, floor_heights: List[float]) -> int:
+    """Number of floor slabs the segment a->b passes through.
+
+    ``floor_heights`` are the z coordinates of slabs above the ground
+    floor (e.g. ``[3.0]`` for a two-storey house).
+    """
+    z_low, z_high = min(a.z, b.z), max(a.z, b.z)
+    return sum(1 for h in floor_heights if z_low < h < z_high)
+
+
+def floor_crossing_points(
+    a: Point, b: Point, floor_heights: List[float]
+) -> List[Tuple[float, float, float]]:
+    """Where the segment a->b pierces each floor slab.
+
+    Returns ``(x, y, slab_height)`` triples, one per crossed slab — the
+    propagation model uses the pierce position to apply locally weaker
+    slab attenuation (ducts, voids, stair openings).
+    """
+    crossings: List[Tuple[float, float, float]] = []
+    if abs(b.z - a.z) < 1e-12:
+        return crossings
+    z_low, z_high = min(a.z, b.z), max(a.z, b.z)
+    for height in floor_heights:
+        if z_low < height < z_high:
+            t = (height - a.z) / (b.z - a.z)
+            crossings.append((a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t, height))
+    return crossings
+
+
+def point_in_rect(point: Point, x0: float, y0: float, x1: float, y1: float) -> bool:
+    """2-D containment test (z ignored)."""
+    return x0 - 1e-9 <= point.x <= x1 + 1e-9 and y0 - 1e-9 <= point.y <= y1 + 1e-9
+
+
+def path_points(a: Point, b: Point, count: int) -> List[Point]:
+    """``count`` evenly spaced points from a to b inclusive."""
+    if count < 2:
+        raise ValueError(f"need at least 2 points, got {count!r}")
+    return [a.lerp(b, i / (count - 1)) for i in range(count)]

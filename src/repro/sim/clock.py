@@ -1,0 +1,39 @@
+"""Simulated wall clock.
+
+The clock only moves forward, and only the event loop may advance it.
+All timestamps in the reproduction are seconds since simulation start
+(floats), mirroring the packet-capture timestamps used in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonic simulated clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past; a
+        simulation that tries to run backwards is always a bug.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self._now:.6f} to {time:.6f}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now:.6f})"

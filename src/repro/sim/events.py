@@ -1,0 +1,98 @@
+"""Event queue for the discrete-event kernel.
+
+Events are ordered by ``(time, sequence)`` where ``sequence`` is a
+monotonically increasing tie-breaker, so two events scheduled for the
+same instant fire in the order they were scheduled.  Cancellation is
+lazy: a cancelled event stays in the heap but is skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import SimulationError
+
+Callback = Callable[..., None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Sorting uses only ``time`` and ``sequence``; the payload fields are
+    excluded from comparison.
+    """
+
+    time: float
+    sequence: int
+    callback: Callback = field(compare=False)
+    args: Tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def fire(self) -> None:
+        """Run the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+
+class EventHandle:
+    """Opaque handle returned by scheduling calls; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The simulated time the event is scheduled for."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class EventQueue:
+    """A heap of pending :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, callback: Callback, args: Tuple[Any, ...] = ()) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if not callable(callback):
+            raise SimulationError(f"event callback must be callable, got {callback!r}")
+        event = Event(time=float(time), sequence=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

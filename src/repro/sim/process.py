@@ -1,0 +1,139 @@
+"""Higher-level scheduling helpers built on the simulator.
+
+:class:`Timer` is a restartable one-shot timer, used for TCP
+retransmission/keepalive deadlines and decision timeouts.
+:class:`PeriodicTask` re-schedules itself at a fixed interval, used for
+speaker heartbeats and RSSI sampling during trace recording.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventHandle
+from repro.sim.simulator import Simulator
+
+
+class Timer:
+    """A one-shot timer that can be restarted or cancelled.
+
+    The callback fires once, ``interval`` seconds after the most recent
+    :meth:`start` / :meth:`restart`.
+    """
+
+    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], None]) -> None:
+        if interval < 0:
+            raise SimulationError(f"timer interval must be >= 0, got {interval!r}")
+        self._sim = sim
+        self._interval = float(interval)
+        self._callback = callback
+        self._handle: Optional[EventHandle] = None
+
+    @property
+    def interval(self) -> float:
+        """The configured one-shot interval."""
+        return self._interval
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is armed."""
+        return self._handle is not None and not self._handle.cancelled
+
+    def start(self) -> None:
+        """Arm the timer; a no-op if it is already running."""
+        if not self.running:
+            self._handle = self._sim.schedule(self._interval, self._fire)
+
+    def restart(self) -> None:
+        """Re-arm the timer from now, cancelling any pending expiry."""
+        self.cancel()
+        self._handle = self._sim.schedule(self._interval, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent)."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Runs ``callback(now)`` every ``period`` seconds until stopped.
+
+    The first invocation happens ``first_delay`` seconds after
+    :meth:`start` (defaulting to one full period).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        callback: Callable[[float], None],
+        first_delay: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"period must be > 0, got {period!r}")
+        self._sim = sim
+        self._period = float(period)
+        self._callback = callback
+        self._first_delay = period if first_delay is None else float(first_delay)
+        self._handle: Optional[EventHandle] = None
+        self._stopped = True
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the task is firing."""
+        return not self._stopped
+
+    def start(self) -> None:
+        """Begin periodic firing; a no-op if already running."""
+        if self._stopped:
+            self._stopped = False
+            self._handle = self._sim.schedule(self._first_delay, self._tick)
+
+    def stop(self) -> None:
+        """Stop firing.  Safe to call from inside the callback."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.fire_count += 1
+        self._callback(self._sim.now)
+        if not self._stopped:
+            self._handle = self._sim.schedule(self._period, self._tick)
+
+
+def call_repeatedly(
+    sim: Simulator,
+    period: float,
+    callback: Callable[[float], None],
+    *,
+    count: int,
+    first_delay: float = 0.0,
+) -> PeriodicTask:
+    """Schedule ``callback`` exactly ``count`` times, ``period`` apart.
+
+    Returns the underlying :class:`PeriodicTask` (already started).
+    """
+    if count <= 0:
+        raise SimulationError(f"count must be positive, got {count!r}")
+    task_ref: dict[str, Any] = {}
+
+    def wrapped(now: float) -> None:
+        callback(now)
+        if task_ref["task"].fire_count >= count:
+            task_ref["task"].stop()
+
+    task = PeriodicTask(sim, period, wrapped, first_delay=first_delay)
+    task_ref["task"] = task
+    task.start()
+    return task

@@ -1,0 +1,61 @@
+"""Smart-speaker traffic models and cloud backends.
+
+These reproduce, at packet-metadata level, the traffic behaviour the
+paper measured with Wireshark (Section IV-B):
+
+* the Echo Dot keeps one long-lived TLS connection to the AVS server,
+  heartbeats 41 bytes every 30 s, announces a reconnection with a fixed
+  16-packet length signature, and exchanges two-phase voice-command
+  traffic whose per-phase length patterns the recognizer keys on;
+* the Google Home Mini connects on demand per command (TCP or QUIC),
+  always preceded by a DNS query, with no response-phase upload spikes;
+* both clouds verify TLS record continuity and close the session on a
+  gap — the mechanism the Traffic Handler exploits to kill held-and-
+  dropped commands.
+"""
+
+from repro.speakers.base import InteractionOutcome, InteractionRecord, SmartSpeaker
+from repro.speakers.cloud import AvsCloud, GoogleCloud, MiscCloud
+from repro.speakers.echo_dot import EchoDot
+from repro.speakers.google_home import GoogleHomeMini
+from repro.speakers.interaction import (
+    EchoTrafficModel,
+    GoogleTrafficModel,
+    RecordSpec,
+    ResponseSegment,
+)
+from repro.speakers.signatures import (
+    AVS_CONNECT_SIGNATURE,
+    AVS_DOMAIN,
+    GOOGLE_DOMAIN,
+    HEARTBEAT_LEN,
+    HEARTBEAT_PERIOD,
+    OTHER_AMAZON_SIGNATURES,
+    PHASE1_FIXED_PATTERNS,
+    PHASE1_MARKERS,
+    PHASE2_MARKER_PAIR,
+)
+
+__all__ = [
+    "AVS_CONNECT_SIGNATURE",
+    "AVS_DOMAIN",
+    "AvsCloud",
+    "EchoDot",
+    "EchoTrafficModel",
+    "GOOGLE_DOMAIN",
+    "GoogleCloud",
+    "GoogleHomeMini",
+    "GoogleTrafficModel",
+    "MiscCloud",
+    "HEARTBEAT_LEN",
+    "HEARTBEAT_PERIOD",
+    "InteractionOutcome",
+    "InteractionRecord",
+    "OTHER_AMAZON_SIGNATURES",
+    "PHASE1_FIXED_PATTERNS",
+    "PHASE1_MARKERS",
+    "PHASE2_MARKER_PAIR",
+    "RecordSpec",
+    "ResponseSegment",
+    "SmartSpeaker",
+]

@@ -1,0 +1,59 @@
+"""Packet-level signature constants (paper Section IV-B).
+
+All lengths are TLS application-data record lengths in bytes, exactly
+as the paper reports them.
+"""
+
+from __future__ import annotations
+
+AVS_DOMAIN = "avs-alexa-4-na.amazon.com"
+GOOGLE_DOMAIN = "www.google.com"
+
+# The Echo Dot announces every new connection to the AVS server with
+# this exact sequence of packet lengths ("63, 33, 653, 131, 73, 131,
+# 188, 73, 131, 73, 131, 73, 131, 77, 33, 33").  The guard uses it to
+# re-learn the AVS server's IP when it changes without a DNS query.
+AVS_CONNECT_SIGNATURE = (63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33)
+
+# Connection signatures of the six other Amazon servers the Echo Dot
+# talks to; the paper verified they differ from the AVS signature.
+OTHER_AMAZON_SIGNATURES = {
+    "device-metrics-us.amazon.com": (87, 33, 415, 131, 73, 131, 96, 73),
+    "api.amazon.com": (63, 41, 517, 131, 73, 188, 73, 131),
+    "dcape-na.amazon.com": (71, 33, 653, 145, 73, 131, 188, 73),
+    "softwareupdates.amazon.com": (95, 33, 589, 131, 88, 131, 73, 73),
+    "ntp-g7g.amazon.com": (48, 48, 48, 48),
+    "todo-ta-g7g.amazon.com": (63, 33, 429, 131, 73, 112, 188, 73),
+}
+
+# Idle-keeping heartbeat: one 41-byte record every 30 seconds.
+HEARTBEAT_LEN = 41
+HEARTBEAT_PERIOD = 30.0
+
+# Command phase (first phase).  Most spikes contain one of the marker
+# lengths among their first five packets; otherwise the phase opens
+# with a 250-650-byte packet followed by one of three fixed patterns.
+PHASE1_MARKERS = (138, 75)
+PHASE1_FIRST_RANGE = (250, 650)
+PHASE1_COMMON_FIRST = 277
+PHASE1_FIXED_PATTERNS = (
+    (131, 277, 131, 113),
+    (131, 113, 113, 113),
+    (131, 121, 277, 131),
+)
+
+# Response phase (second phase): a 77-byte record immediately followed
+# by a 33-byte record, always within the first seven packets.
+PHASE2_MARKER_PAIR = (77, 33)
+PHASE2_MARKER_MAX_INDEX = 7  # pair always completes by the 7th packet
+
+# Pools for non-marker packet lengths.  Phase-1 filler must not collide
+# with the phase-2 pair, and phase-2 prefix filler must not collide
+# with phase-1 markers or look like a fixed-pattern opener.
+PHASE1_FILLER_POOL = (131, 73, 113, 121, 188, 277, 96)
+PHASE2_PREFIX_POOL = (55, 61, 89, 97, 105, 126)
+PHASE2_BODY_RANGE = (50, 700)
+
+# Voice upload: near-MTU audio records during the command.
+AUDIO_RECORD_RANGE = (1200, 1460)
+SMALL_RECORD_RANGE = (60, 130)

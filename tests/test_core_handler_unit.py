@@ -1,0 +1,169 @@
+"""Unit tests for the TrafficHandler with a stubbed decision module."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.config import VoiceGuardConfig
+from repro.core.decision import DecisionResult, Verdict
+from repro.core.events import CommandEvent, TrafficClass
+from repro.core.handler import TrafficHandler
+from repro.core.recognition import Window
+from repro.net.addresses import IPv4Address, endpoint
+from repro.net.packet import Protocol
+from repro.net.proxy import ProxiedFlow
+
+_ids = itertools.count(1)
+
+
+class _StubProxy:
+    def __init__(self):
+        self.released = []
+        self.discarded = []
+
+    def release_held(self, flow):
+        self.released.append(flow)
+        return 3
+
+    def discard_held(self, flow):
+        self.discarded.append(flow)
+        return 3
+
+
+class _StubDecision:
+    """Records contexts; resolves when told to."""
+
+    def __init__(self):
+        self.pending = []
+
+    def decide(self, context, callback):
+        self.pending.append((context, callback))
+
+    def resolve(self, verdict):
+        context, callback = self.pending.pop(0)
+        callback(DecisionResult(verdict=verdict))
+
+
+def make_window(protocol=Protocol.TCP) -> Window:
+    flow = ProxiedFlow(
+        flow_id=next(_ids), protocol=protocol,
+        client=endpoint("192.168.1.200", 50000),
+        server=endpoint("54.1.1.1", 443),
+    )
+    window = Window(
+        window_id=next(_ids), flow=flow,
+        speaker_ip=IPv4Address("192.168.1.200"),
+        opened_at=0.0, last_packet_time=0.0,
+    )
+    window.event = CommandEvent(
+        window_id=window.window_id, flow_id=flow.flow_id,
+        speaker_ip="192.168.1.200", protocol=protocol.value, opened_at=0.0,
+    )
+    return window
+
+
+@pytest.fixture
+def handler_world(sim):
+    proxy = _StubProxy()
+    decision = _StubDecision()
+    handler = TrafficHandler(
+        sim=sim, config=VoiceGuardConfig(),
+        proxy=proxy, udp_forwarder=None, decision=decision,
+    )
+    return sim, handler, proxy, decision
+
+
+class TestHandlerResolution:
+    def test_benign_windows_release_immediately(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.RESPONSE)
+        assert window.released
+        assert proxy.released == [window.flow]
+        assert handler.benign_windows_released == 1
+        assert not decision.pending
+
+    def test_unknown_windows_release_immediately(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.UNKNOWN)
+        assert window.released
+
+    def test_legitimate_verdict_releases(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        assert decision.pending and not window.resolved
+        decision.resolve(Verdict.LEGITIMATE)
+        assert window.released and not window.discarded
+        assert handler.commands_released == 1
+        assert window.event.verdict is Verdict.LEGITIMATE
+        assert window.event.held_records == 3
+
+    def test_malicious_verdict_discards(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        decision.resolve(Verdict.MALICIOUS)
+        assert window.discarded and not window.released
+        assert handler.commands_blocked == 1
+        assert proxy.discarded == [window.flow]
+
+    def test_timeout_fail_closed_discards(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        decision.resolve(Verdict.TIMEOUT)
+        assert window.discarded
+
+    def test_timeout_fail_open_releases(self, sim):
+        proxy = _StubProxy()
+        decision = _StubDecision()
+        handler = TrafficHandler(
+            sim=sim, config=VoiceGuardConfig(fail_open=True),
+            proxy=proxy, udp_forwarder=None, decision=decision,
+        )
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        decision.resolve(Verdict.TIMEOUT)
+        assert window.released
+
+    def test_max_hold_failsafe_fires(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        sim.run_for(handler.config.max_hold + 1.0)
+        assert window.discarded  # fail-closed default
+
+    def test_late_verdict_after_failsafe_is_ignored(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window()
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        sim.run_for(handler.config.max_hold + 1.0)
+        decision.resolve(Verdict.LEGITIMATE)
+        assert window.discarded and not window.released
+        assert len(proxy.released) == 0
+
+    def test_udp_window_uses_forwarder(self, sim):
+        proxy = _StubProxy()
+        forwarder = _StubProxy()
+        decision = _StubDecision()
+        handler = TrafficHandler(
+            sim=sim, config=VoiceGuardConfig(),
+            proxy=proxy, udp_forwarder=forwarder, decision=decision,
+        )
+        window = make_window(protocol=Protocol.UDP)
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        decision.resolve(Verdict.MALICIOUS)
+        assert forwarder.discarded == [window.flow]
+        assert proxy.discarded == []
+
+    def test_udp_window_without_forwarder_is_noop_count(self, handler_world):
+        sim, handler, proxy, decision = handler_world
+        window = make_window(protocol=Protocol.UDP)
+        handler.on_window_classified(window, TrafficClass.COMMAND)
+        decision.resolve(Verdict.MALICIOUS)
+        assert window.discarded
+        assert window.event.held_records == 0

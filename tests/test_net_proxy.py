@@ -1,0 +1,259 @@
+"""Transparent proxy and TLS-session tests (Figure 4 mechanics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.addresses import Endpoint, IPv4Address
+from repro.net.link import Host, Network
+from repro.net.packet import Packet, Protocol, TlsRecordType
+from repro.net.proxy import ForwarderDecision, TransparentProxy, UdpForwarder
+from repro.net.tcp import TcpStack
+from repro.net.tls import TlsSession, TlsViolation
+from repro.net.udp import UdpFlow
+from repro.sim.random import RngHub
+
+
+class TestTlsSession:
+    def test_in_sequence_records_accepted(self):
+        session = TlsSession()
+        for expected in range(5):
+            assert session.accept_record(expected, now=0.0) is None
+        assert session.records_received == 5
+
+    def test_gap_triggers_violation(self):
+        session = TlsSession()
+        session.accept_record(0, now=0.0)
+        violation = session.accept_record(2, now=1.5)
+        assert isinstance(violation, TlsViolation)
+        assert violation.expected_seq == 1
+        assert violation.received_seq == 2
+
+    def test_dead_session_rejects_everything(self):
+        session = TlsSession()
+        session.accept_record(1, now=0.0)  # immediate gap
+        with pytest.raises(NetworkError):
+            session.accept_record(2, now=0.1)
+
+    def test_sender_sequence_increments(self):
+        session = TlsSession()
+        assert [session.next_send_seq() for _ in range(3)] == [0, 1, 2]
+
+    def test_none_record_seq_rejected(self):
+        session = TlsSession()
+        with pytest.raises(NetworkError):
+            session.accept_record(None, now=0.0)
+
+
+@pytest.fixture
+def proxied_world(sim):
+    """speaker <-> proxy <-> server, proxy terminating TCP."""
+    network = Network(sim, RngHub(5))
+    speaker = Host("speaker", IPv4Address("192.168.1.200"))
+    server = Host("server", IPv4Address("54.1.1.1"))
+    network.attach(speaker)
+    network.attach(server)
+    speaker_stack = TcpStack(speaker)
+    server_stack = TcpStack(server)
+    proxy = TransparentProxy("guard", IPv4Address("192.168.1.50"))
+    proxy.install(network, speaker.ip)
+    server_received = []
+
+    def accept(conn):
+        conn.on_record = lambda c, p: server_received.append(p)
+
+    server_stack.listen(443, accept)
+    return sim, network, speaker_stack, server_stack, proxy, server_received
+
+
+class TestTransparentProxy:
+    def test_terminates_and_splices(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        conn = speaker.connect(Endpoint(IPv4Address("54.1.1.1"), 443))
+        sim.run_for(1.0)
+        assert conn.is_established
+        assert proxy.open_flow_count == 1
+        conn.send_record(100, tls_record_seq=0)
+        sim.run_for(1.0)
+        assert [p.payload_len for p in received] == [100]
+
+    def test_flow_metadata(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        speaker.connect(Endpoint(IPv4Address("54.1.1.1"), 443))
+        sim.run_for(1.0)
+        flow = proxy.flows[0]
+        assert flow.client.ip == IPv4Address("192.168.1.200")
+        assert flow.server == Endpoint(IPv4Address("54.1.1.1"), 443)
+
+    def test_hold_then_release_preserves_order(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        held_sizes = (10, 20, 30)
+        proxy.record_policy = (
+            lambda flow, p: ForwarderDecision.HOLD
+            if p.payload_len in held_sizes else ForwarderDecision.FORWARD
+        )
+        conn = speaker.connect(Endpoint(IPv4Address("54.1.1.1"), 443))
+        sim.run_for(1.0)
+        for index, size in enumerate((10, 20, 30)):
+            conn.send_record(size, tls_record_seq=index)
+        sim.run_for(1.0)
+        assert received == []  # parked
+        flow = proxy.flows[0]
+        assert len(flow.held) == 3
+        proxy.release_held(flow)
+        sim.run_for(1.0)
+        assert [p.payload_len for p in received] == [10, 20, 30]
+
+    def test_hold_keeps_connection_alive_for_a_long_time(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        proxy.record_policy = lambda flow, p: ForwarderDecision.HOLD
+        conn = speaker.connect(Endpoint(IPv4Address("54.1.1.1"), 443))
+        sim.run_for(1.0)
+        conn.send_record(100, tls_record_seq=0)
+        sim.run_for(40.0)  # dozens of seconds, as the paper requires
+        assert conn.is_established
+        proxy.release_held(proxy.flows[0])
+        sim.run_for(1.0)
+        assert [p.payload_len for p in received] == [100]
+
+    def test_discard_then_forward_desyncs_tls(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        session = TlsSession()
+        violations = []
+
+        def accept_with_tls(conn):
+            def on_record(c, p):
+                violation = session.accept_record(p.tls_record_seq, sim.now)
+                if violation:
+                    violations.append(violation)
+                    c.close()
+            conn.on_record = on_record
+
+        # Replace the plain listener wholesale.
+        server._listeners.clear()
+        server.listen(443, accept_with_tls)
+
+        hold = {"active": True}
+        proxy.record_policy = (
+            lambda flow, p: ForwarderDecision.HOLD if hold["active"]
+            else ForwarderDecision.FORWARD
+        )
+        conn = speaker.connect(Endpoint(IPv4Address("54.1.1.1"), 443))
+        sim.run_for(1.0)
+        conn.send_record(100, tls_record_seq=0)
+        conn.send_record(200, tls_record_seq=1)
+        sim.run_for(1.0)
+        proxy.discard_held(proxy.flows[0])
+        hold["active"] = False
+        conn.send_record(300, tls_record_seq=2)  # out of TLS sequence now
+        sim.run_for(2.0)
+        assert violations and violations[0].received_seq == 2
+        sim.run_for(3.0)
+        assert not conn.is_established  # close propagated to the speaker
+
+    def test_server_records_reach_speaker(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        downstream = []
+        server._listeners.clear()
+
+        def accept(conn):
+            conn.on_record = lambda c, p: c.send_record(42, tls_record_seq=0)
+
+        server.listen(443, accept)
+        conn = speaker.connect(Endpoint(IPv4Address("54.1.1.1"), 443))
+        conn.on_record = lambda c, p: downstream.append(p.payload_len)
+        sim.run_for(1.0)
+        conn.send_record(10, tls_record_seq=0)
+        sim.run_for(1.0)
+        assert downstream == [42]
+
+    def test_snoopers_see_tapped_packets(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        seen = []
+        proxy.add_snooper(lambda p: seen.append(p.protocol))
+        speaker.host.send(Packet(
+            src=Endpoint(speaker.host.ip, 5353),
+            dst=Endpoint(IPv4Address("54.1.1.1"), 53),
+            protocol=Protocol.UDP, payload_len=40,
+        ))
+        sim.run_for(1.0)
+        assert Protocol.UDP in seen
+
+    def test_drop_decision_discards_record(self, proxied_world):
+        sim, network, speaker, server, proxy, received = proxied_world
+        proxy.record_policy = lambda flow, p: ForwarderDecision.DROP
+        conn = speaker.connect(Endpoint(IPv4Address("54.1.1.1"), 443))
+        sim.run_for(1.0)
+        conn.send_record(100, tls_record_seq=0)
+        sim.run_for(1.0)
+        assert received == []
+        assert proxy.flows[0].records_discarded == 1
+
+
+class TestUdpForwarder:
+    @pytest.fixture
+    def udp_world(self, sim):
+        network = Network(sim, RngHub(6))
+        speaker = Host("speaker", IPv4Address("192.168.1.201"))
+        server = Host("server", IPv4Address("142.250.65.68"))
+        network.attach(speaker)
+        network.attach(server)
+        proxy = TransparentProxy("guard", IPv4Address("192.168.1.50"))
+        proxy.install(network, speaker.ip)
+        forwarder = UdpForwarder(proxy, speaker.ip)
+        received = []
+        server.register_udp_handler(443, lambda p: received.append(p.payload_len))
+        flow = UdpFlow(speaker, Endpoint(speaker.ip, 52001),
+                       Endpoint(server.ip, 443))
+        return sim, proxy, forwarder, flow, received
+
+    def test_datagrams_forwarded_by_default(self, udp_world):
+        sim, proxy, forwarder, flow, received = udp_world
+        flow.send(500)
+        sim.run_for(1.0)
+        assert received == [500]
+
+    def test_hold_and_release(self, udp_world):
+        sim, proxy, forwarder, flow, received = udp_world
+        proxy.record_policy = lambda f, p: ForwarderDecision.HOLD
+        flow.send(500)
+        flow.send(600)
+        sim.run_for(1.0)
+        assert received == []
+        forwarder.release_held(proxy.flows[0])
+        sim.run_for(1.0)
+        assert received == [500, 600]
+
+    def test_hold_and_discard(self, udp_world):
+        sim, proxy, forwarder, flow, received = udp_world
+        proxy.record_policy = lambda f, p: ForwarderDecision.HOLD
+        flow.send(500)
+        sim.run_for(1.0)
+        count = forwarder.discard_held(proxy.flows[0])
+        assert count == 1
+        sim.run_for(1.0)
+        assert received == []
+
+    def test_drop_decision(self, udp_world):
+        sim, proxy, forwarder, flow, received = udp_world
+        proxy.record_policy = lambda f, p: ForwarderDecision.DROP
+        flow.send(500)
+        sim.run_for(1.0)
+        assert received == []
+        assert proxy.flows[0].records_discarded == 1
+
+    def test_server_replies_bridged_to_speaker(self, udp_world):
+        sim, proxy, forwarder, flow, received = udp_world
+        got = []
+        flow.on_datagram = lambda f, p: got.append(p.payload_len)
+        flow.send(500)
+        sim.run_for(1.0)
+        # The server answers to the speaker's endpoint.
+        server_packet = Packet(
+            src=Endpoint(IPv4Address("142.250.65.68"), 443),
+            dst=flow.local, protocol=Protocol.UDP, payload_len=77,
+        )
+        proxy.network.host_for(IPv4Address("142.250.65.68")).send(server_packet)
+        sim.run_for(1.0)
+        assert got == [77]
