@@ -19,8 +19,14 @@ import sys
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
-    report = generate_report(scale=args.scale, seed=args.seed)
+    report = generate_report(scale=args.scale, seed=args.seed,
+                             workers=args.workers,
+                             use_cache=not args.no_cache)
     print(report.render())
+    if args.workers != 1:
+        from repro.analysis.reporting import render_task_timings
+
+        print(render_task_timings(report.timings), file=sys.stderr)
     if args.output:
         import pathlib
 
@@ -38,7 +44,8 @@ def _cmd_table(args: argparse.Namespace) -> int:
     from repro.experiments.rssi_tables import run_rssi_table
 
     testbed = {"table2": "house", "table3": "apartment", "table4": "office"}[args.which]
-    result = run_rssi_table(testbed, seed=args.seed, scale=args.scale)
+    result = run_rssi_table(testbed, seed=args.seed, scale=args.scale,
+                            workers=args.workers, use_cache=not args.no_cache)
     print(result.render_with_paper())
     return 0
 
@@ -84,14 +91,17 @@ def _cmd_fig(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import run_campaign
 
-    print(run_campaign(homes=args.homes, seed=args.seed).render())
+    print(run_campaign(homes=args.homes, seed=args.seed,
+                       workers=args.workers,
+                       use_cache=not args.no_cache).render())
     return 0
 
 
 def _cmd_endurance(args: argparse.Namespace) -> int:
     from repro.experiments.hold_endurance import run_hold_endurance
 
-    print(run_hold_endurance(seed=args.seed).render())
+    print(run_hold_endurance(seed=args.seed, workers=args.workers,
+                             use_cache=not args.no_cache).render())
     return 0
 
 
@@ -115,14 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=3)
+    # Parallel-engine knobs, shared by the fan-out commands.
+    parallel = argparse.ArgumentParser(add_help=False)
+    parallel.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for independent runs (0 = one per CPU; "
+             "1 = serial, identical to the historical behaviour)")
+    parallel.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute instead of reusing cached results "
+             "($REPRO_CACHE_DIR or ~/.cache/repro/experiments)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    report = sub.add_parser("report", parents=[common], help="regenerate everything")
+    report = sub.add_parser("report", parents=[common, parallel],
+                            help="regenerate everything")
     report.add_argument("--scale", type=float, default=0.3)
     report.add_argument("--output", default=None)
     report.set_defaults(func=_cmd_report)
 
-    table = sub.add_parser("table", parents=[common], help="regenerate one paper table")
+    table = sub.add_parser("table", parents=[common, parallel],
+                           help="regenerate one paper table")
     table.add_argument("which", choices=["table1", "table2", "table3", "table4"])
     table.add_argument("--scale", type=float, default=1.0)
     table.set_defaults(func=_cmd_table)
@@ -131,12 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("which", choices=["3", "4", "6", "7", "8", "9", "10"])
     fig.set_defaults(func=_cmd_fig)
 
-    campaign = sub.add_parser("campaign", parents=[common],
+    campaign = sub.add_parser("campaign", parents=[common, parallel],
                               help="multi-home media campaign")
     campaign.add_argument("--homes", type=int, default=6)
     campaign.set_defaults(func=_cmd_campaign)
 
-    endurance = sub.add_parser("endurance", parents=[common],
+    endurance = sub.add_parser("endurance", parents=[common, parallel],
                                help="hold-endurance sweep")
     endurance.set_defaults(func=_cmd_endurance)
 

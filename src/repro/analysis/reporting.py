@@ -32,6 +32,29 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def fmt_percent(value: float, decimals: int = 2) -> str:
+    """Format a ratio as a percentage; NaN (an undefined metric, e.g.
+    precision with zero positive predictions) renders as an em dash."""
+    if value != value:  # NaN-safe without importing math
+        return "—"
+    return f"{value:.{decimals}%}"
+
+
+def render_task_timings(timings: Sequence[object],
+                        title: str = "Experiment task timings") -> str:
+    """Render the engine's per-task timing records as a table.
+
+    ``timings`` is a sequence of :class:`repro.experiments.parallel.TaskTiming`
+    (anything with ``label``, ``elapsed`` and ``source`` works).
+    """
+    rows = [[t.label, f"{t.elapsed:.2f}s", t.source] for t in timings]
+    executed = [t.elapsed for t in timings if getattr(t, "source", "run") == "run"]
+    summary = (f"{len(rows)} tasks, {len(rows) - len(executed)} cached, "
+               f"{sum(executed):.2f}s total task time")
+    table = render_table(title, ["task", "elapsed", "source"], rows)
+    return f"{table}\n{summary}"
+
+
 def render_histogram(title: str, values: Sequence[float], bins: Sequence[float],
                      width: int = 40) -> str:
     """ASCII histogram (used for the Figure 7 delay distribution)."""

@@ -95,11 +95,18 @@ class VoiceGuard:
         device: MobileDevice,
         threshold: float,
         approved_by_owner: bool = True,
+        initial_floor: Optional[int] = None,
     ) -> None:
-        """Enroll a legitimate user's phone/watch with its threshold."""
+        """Enroll a legitimate user's phone/watch with its threshold.
+
+        ``initial_floor`` seeds the floor tracker for devices enrolled
+        *after* :meth:`enable_floor_tracking`; without it such a device
+        would be assumed to start on the speaker's floor, unlike devices
+        enrolled before tracking was enabled.
+        """
         self.registry.register(device, threshold, approved_by_owner=approved_by_owner)
         if self.floor_tracker is not None:
-            self.floor_tracker.track(device)
+            self.floor_tracker.track(device, initial_floor=initial_floor)
 
     def enable_floor_tracking(
         self,

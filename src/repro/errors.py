@@ -47,3 +47,8 @@ class DecisionTimeoutError(ReproError):
 
 class WorkloadError(ReproError):
     """An experiment workload was specified inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """The parallel experiment engine failed (bad worker count, or a
+    worker process died mid-task)."""

@@ -29,6 +29,7 @@ from repro.audio.verification import VoiceMatchVerifier
 from repro.baselines.firewall import FirewallTap
 from repro.core.decision import DecisionContext, RssiDecisionMethod
 from repro.core.registry import DeviceRegistry
+from repro.experiments.parallel import ExperimentEngine, ExperimentTask
 from repro.experiments.runner import run_rssi_experiment, score_interactions
 from repro.experiments.scenarios import Scenario, build_scenario
 from repro.net.addresses import IPv4Address
@@ -48,6 +49,14 @@ class DefenseMatrixResult:
         cell[1] += 1
         if blocked:
             cell[0] += 1
+
+    def absorb(self, other: "DefenseMatrixResult") -> None:
+        """Fold another (disjoint or overlapping) matrix's counts in."""
+        for defense, sources in other.counts.items():
+            for source, (blocked, total) in sources.items():
+                cell = self.counts.setdefault(defense, {}).setdefault(source, [0, 0])
+                cell[0] += blocked
+                cell[1] += total
 
     def block_rate(self, defense: str, source: str) -> float:
         blocked, total = self.counts.get(defense, {}).get(source, (0, 0))
@@ -85,70 +94,100 @@ def _make_attacks(scenario: Scenario, rng: np.random.Generator) -> Dict[str, obj
     }
 
 
-def run_defense_matrix(
-    seed: int = 17,
-    trials_per_attack: int = 8,
-    legit_trials: int = 8,
+def _run_defense_arm(
+    defense: str,
+    seed: int,
+    trials_per_attack: int,
+    legit_trials: int,
 ) -> DefenseMatrixResult:
-    """VoiceGuard vs voice-match vs no defense, full attack gallery."""
+    """One defense's arm of the matrix: its own scenario and rng."""
     result = DefenseMatrixResult()
-    for defense in ("none", "voice_match", "voiceguard"):
-        scenario = build_scenario(
-            "house", "echo", deployment=0, seed=seed,
-            owner_count=1, with_floor_tracking=False,
-            with_guard=(defense == "voiceguard"),
-        )
-        env = scenario.env
-        owner = scenario.owners[0]
-        rng = env.rng.stream(f"ablation.{defense}")
-        if defense == "voice_match":
-            verifier = VoiceMatchVerifier()
-            verifier.enroll(owner.voiceprint, rng)
-            scenario.speaker.enable_voice_match(verifier)
-        attacks = _make_attacks(scenario, rng)
-        attack_spot = env.testbed.device_point(3).offset(dz=0.2)
-        away_spot = env.testbed.device_point(30).offset(dz=-1.0)
-        near_spot = env.testbed.device_point(5).offset(dz=-1.0)
+    scenario = build_scenario(
+        "house", "echo", deployment=0, seed=seed,
+        owner_count=1, with_floor_tracking=False,
+        with_guard=(defense == "voiceguard"),
+    )
+    env = scenario.env
+    owner = scenario.owners[0]
+    rng = env.rng.stream(f"ablation.{defense}")
+    if defense == "voice_match":
+        verifier = VoiceMatchVerifier()
+        verifier.enroll(owner.voiceprint, rng)
+        scenario.speaker.enable_voice_match(verifier)
+    attacks = _make_attacks(scenario, rng)
+    attack_spot = env.testbed.device_point(3).offset(dz=0.2)
+    away_spot = env.testbed.device_point(30).offset(dz=-1.0)
+    near_spot = env.testbed.device_point(5).offset(dz=-1.0)
 
-        # Attacks: owner away from the speaker room.
-        for kind in ATTACK_KINDS:
-            for _ in range(trials_per_attack):
-                owner.teleport(away_spot)
-                env.sim.run_for(2.0)
-                command = scenario.corpus.sample(rng)
-                duration = full_utterance_duration(command, rng)
-                before = set(scenario.speaker.interactions)
-                if kind == "live_guest":
-                    guest_voice = env.rng.stream("guest.voice")
-                    from repro.audio.voiceprint import UtteranceSource, VoicePrint, live_utterance
-                    guest = VoicePrint.create("guest", guest_voice)
-                    utterance = live_utterance(
-                        command.text, duration, guest, rng,
-                        source=UtteranceSource.LIVE_GUEST,
-                    )
-                    env.play_utterance(utterance, attack_spot)
-                else:
-                    attacks[kind].launch(command.text, duration, attack_spot)
-                env.sim.run_for(duration + 16.0)
-                new = [scenario.speaker.interactions[i]
-                       for i in scenario.speaker.interactions if i not in before]
-                executed = any(r.executed_at is not None for r in new)
-                result.record(defense, kind, blocked=not executed)
-
-        # Legitimate commands: owner near the speaker.
-        for _ in range(legit_trials):
-            owner.teleport(near_spot)
+    # Attacks: owner away from the speaker room.
+    for kind in ATTACK_KINDS:
+        for _ in range(trials_per_attack):
+            owner.teleport(away_spot)
             env.sim.run_for(2.0)
             command = scenario.corpus.sample(rng)
             duration = full_utterance_duration(command, rng)
             before = set(scenario.speaker.interactions)
-            utterance = owner.speak(command.text, duration)
-            env.play_utterance(utterance, owner.device_position())
+            if kind == "live_guest":
+                guest_voice = env.rng.stream("guest.voice")
+                from repro.audio.voiceprint import UtteranceSource, VoicePrint, live_utterance
+                guest = VoicePrint.create("guest", guest_voice)
+                utterance = live_utterance(
+                    command.text, duration, guest, rng,
+                    source=UtteranceSource.LIVE_GUEST,
+                )
+                env.play_utterance(utterance, attack_spot)
+            else:
+                attacks[kind].launch(command.text, duration, attack_spot)
             env.sim.run_for(duration + 16.0)
             new = [scenario.speaker.interactions[i]
                    for i in scenario.speaker.interactions if i not in before]
             executed = any(r.executed_at is not None for r in new)
-            result.record(defense, "live_owner", blocked=not executed)
+            result.record(defense, kind, blocked=not executed)
+
+    # Legitimate commands: owner near the speaker.
+    for _ in range(legit_trials):
+        owner.teleport(near_spot)
+        env.sim.run_for(2.0)
+        command = scenario.corpus.sample(rng)
+        duration = full_utterance_duration(command, rng)
+        before = set(scenario.speaker.interactions)
+        utterance = owner.speak(command.text, duration)
+        env.play_utterance(utterance, owner.device_position())
+        env.sim.run_for(duration + 16.0)
+        new = [scenario.speaker.interactions[i]
+               for i in scenario.speaker.interactions if i not in before]
+        executed = any(r.executed_at is not None for r in new)
+        result.record(defense, "live_owner", blocked=not executed)
+    return result
+
+
+def run_defense_matrix(
+    seed: int = 17,
+    trials_per_attack: int = 8,
+    legit_trials: int = 8,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
+) -> DefenseMatrixResult:
+    """VoiceGuard vs voice-match vs no defense, full attack gallery.
+
+    The three defense arms are independent scenarios and fan out over
+    the experiment engine; their counts merge into one matrix.
+    """
+    tasks = [
+        ExperimentTask(
+            fn=_run_defense_arm,
+            args=(defense, seed, trials_per_attack, legit_trials),
+            label=f"defense/{defense}",
+        )
+        for defense in ("none", "voice_match", "voiceguard")
+    ]
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    result = DefenseMatrixResult()
+    for arm in engine.run(tasks):
+        result.absorb(arm)
     return result
 
 
@@ -176,14 +215,26 @@ class FloorAblationResult:
         )
 
 
-def run_floor_ablation(seed: int = 19, legit: int = 50, malicious: int = 40) -> FloorAblationResult:
-    with_tracking = run_rssi_experiment(
-        "house", "echo", 0, seed=seed, legit_count=legit, malicious_count=malicious,
-    )
-    without = run_rssi_experiment(
-        "house", "echo", 0, seed=seed, legit_count=legit, malicious_count=malicious,
-        with_floor_tracking=False,
-    )
+def run_floor_ablation(
+    seed: int = 19,
+    legit: int = 50,
+    malicious: int = 40,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
+) -> FloorAblationResult:
+    common = dict(seed=seed, legit_count=legit, malicious_count=malicious)
+    tasks = [
+        ExperimentTask(fn=run_rssi_experiment, args=("house", "echo", 0),
+                       kwargs=dict(common), label="floor/tracking-on"),
+        ExperimentTask(fn=run_rssi_experiment, args=("house", "echo", 0),
+                       kwargs=dict(common, with_floor_tracking=False),
+                       label="floor/tracking-off"),
+    ]
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    with_tracking, without = engine.run(tasks)
     return FloorAblationResult(with_tracking=with_tracking, without_tracking=without)
 
 
@@ -206,50 +257,68 @@ class SignatureAblationResult:
         )
 
 
-def run_signature_ablation(seed: int = 21, commands: int = 25) -> SignatureAblationResult:
+def _run_signature_arm(use_signature: bool, seed: int, commands: int) -> Dict[str, int]:
+    """One arm (signatures on or off) of the AVS-signature ablation."""
+    scenario = build_scenario(
+        "house", "echo", deployment=0, seed=seed,
+        owner_count=1, with_floor_tracking=False,
+    )
+    scenario.guard.recognition.use_signature_tracking = use_signature
+    if not use_signature:
+        # Forget what boot-time signature matching already learned.
+        state = scenario.guard.recognition.speaker_state(scenario.speaker.ip)
+        if state.avs_ip_source == "signature":
+            state.avs_ip = None
+    env = scenario.env
+    owner = scenario.owners[0]
+    owner.teleport(env.testbed.device_point(5).offset(dz=-1.0))
+    rng = env.rng.stream("sig.ablation")
+    reconnects = 0
+    for index in range(commands):
+        # Force a reconnect before each command by dropping the
+        # speaker's live AVS connection (cloud-side churn).
+        if scenario.speaker._conn is not None and index > 0:
+            scenario.speaker._conn.abort("cloud-restart")
+            reconnects += 1
+            env.sim.run_for(8.0)
+        command = scenario.corpus.sample(rng)
+        duration = full_utterance_duration(command, rng)
+        utterance = owner.speak(command.text, duration)
+        env.play_utterance(utterance, owner.device_position())
+        env.sim.run_for(duration + 16.0)
+    checked = len([e for e in scenario.guard.log.commands() if e.verdict is not None])
+    return {"checked": checked, "reconnects": reconnects}
+
+
+def run_signature_ablation(
+    seed: int = 21,
+    commands: int = 25,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
+) -> SignatureAblationResult:
     """Measure guarded-command coverage with and without signatures.
 
     Between commands the AVS session is aborted so the Echo reconnects,
     half the time without a DNS query; DNS-only tracking then loses the
-    AVS flow and commands pass unchecked.
+    AVS flow and commands pass unchecked.  The two arms are independent
+    scenarios and fan out over the experiment engine (reconnects are
+    reported from the signature arm, as before).
     """
-    checked = {}
-    reconnects = 0
-    for use_signature in (True, False):
-        scenario = build_scenario(
-            "house", "echo", deployment=0, seed=seed,
-            owner_count=1, with_floor_tracking=False,
-        )
-        scenario.guard.recognition.use_signature_tracking = use_signature
-        if not use_signature:
-            # Forget what boot-time signature matching already learned.
-            state = scenario.guard.recognition.speaker_state(scenario.speaker.ip)
-            if state.avs_ip_source == "signature":
-                state.avs_ip = None
-        env = scenario.env
-        owner = scenario.owners[0]
-        owner.teleport(env.testbed.device_point(5).offset(dz=-1.0))
-        rng = env.rng.stream("sig.ablation")
-        count = 0
-        for index in range(commands):
-            # Force a reconnect before each command by dropping the
-            # speaker's live AVS connection (cloud-side churn).
-            if scenario.speaker._conn is not None and index > 0:
-                scenario.speaker._conn.abort("cloud-restart")
-                reconnects += use_signature  # count once
-                env.sim.run_for(8.0)
-            command = scenario.corpus.sample(rng)
-            duration = full_utterance_duration(command, rng)
-            utterance = owner.speak(command.text, duration)
-            env.play_utterance(utterance, owner.device_position())
-            env.sim.run_for(duration + 16.0)
-        count = len([e for e in scenario.guard.log.commands() if e.verdict is not None])
-        checked[use_signature] = count
+    tasks = [
+        ExperimentTask(fn=_run_signature_arm, args=(use_signature, seed, commands),
+                       label=f"signature/{'on' if use_signature else 'off'}")
+        for use_signature in (True, False)
+    ]
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    with_sig, without_sig = engine.run(tasks)
     return SignatureAblationResult(
-        reconnects=reconnects,
-        silent_reconnects_tracked=checked[True],
-        commands_checked_with=checked[True],
-        commands_checked_without=checked[False],
+        reconnects=with_sig["reconnects"],
+        silent_reconnects_tracked=with_sig["checked"],
+        commands_checked_with=with_sig["checked"],
+        commands_checked_without=without_sig["checked"],
         commands_total=commands,
     )
 
@@ -282,27 +351,22 @@ class FirewallComparisonResult:
         )
 
 
-def run_firewall_comparison(seed: int = 23, commands: int = 20) -> FirewallComparisonResult:
-    """Mixed-workload UX under the proxy vs under a firewall.
-
-    Every fifth episode is a replay attack (both actuators block it);
-    the interesting part is the *next* legitimate command, issued
-    shortly after: the proxy's hold-and-discard leaves the session
-    usable, while the firewall's block window and connection breakage
-    make the user repeat themselves (the paper's Section I contrast).
-    """
-    # -- VoiceGuard proxy ---------------------------------------------------
+def _run_proxy_arm(seed: int, commands: int) -> tuple:
+    """VoiceGuard-proxy arm: (executed, mean delay, total, broken sessions)."""
     scenario = build_scenario(
         "house", "echo", deployment=0, seed=seed,
         owner_count=1, with_floor_tracking=False,
     )
     sessions_before = scenario.avs_cloud.stats.sessions_closed
-    proxy_stats = _run_mixed_workload(scenario, commands, "fw.proxy")
-    proxy_sessions_broken = scenario.avs_cloud.stats.sessions_closed - sessions_before
+    executed, mean_delay, total = _run_mixed_workload(scenario, commands, "fw.proxy")
+    sessions_broken = scenario.avs_cloud.stats.sessions_closed - sessions_before
+    return executed, mean_delay, total, sessions_broken
 
-    # -- Firewall -------------------------------------------------------------
+
+def _run_firewall_arm(seed: int, commands: int) -> tuple:
+    """Packet-dropping-firewall arm: same tuple as :func:`_run_proxy_arm`."""
     scenario = build_scenario(
-        "house", "echo", deployment=0, seed=seed + 1,
+        "house", "echo", deployment=0, seed=seed,
         owner_count=1, with_floor_tracking=False, with_guard=False,
     )
     env = scenario.env
@@ -322,9 +386,37 @@ def run_firewall_comparison(seed: int = 23, commands: int = 20) -> FirewallCompa
     )
     scenario.network.attach(firewall)
     scenario.network.install_tap(scenario.speaker.ip, firewall)
-    sessions_before_fw = scenario.avs_cloud.stats.sessions_closed
-    firewall_stats = _run_mixed_workload(scenario, commands, "fw.fw")
-    sessions_broken = scenario.avs_cloud.stats.sessions_closed - sessions_before_fw
+    sessions_before = scenario.avs_cloud.stats.sessions_closed
+    executed, mean_delay, total = _run_mixed_workload(scenario, commands, "fw.fw")
+    sessions_broken = scenario.avs_cloud.stats.sessions_closed - sessions_before
+    return executed, mean_delay, total, sessions_broken
+
+
+def run_firewall_comparison(
+    seed: int = 23,
+    commands: int = 20,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
+) -> FirewallComparisonResult:
+    """Mixed-workload UX under the proxy vs under a firewall.
+
+    Every fifth episode is a replay attack (both actuators block it);
+    the interesting part is the *next* legitimate command, issued
+    shortly after: the proxy's hold-and-discard leaves the session
+    usable, while the firewall's block window and connection breakage
+    make the user repeat themselves (the paper's Section I contrast).
+    """
+    tasks = [
+        ExperimentTask(fn=_run_proxy_arm, args=(seed, commands),
+                       label="firewall-comparison/proxy"),
+        ExperimentTask(fn=_run_firewall_arm, args=(seed + 1, commands),
+                       label="firewall-comparison/firewall"),
+    ]
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    proxy_stats, firewall_stats = engine.run(tasks)
 
     return FirewallComparisonResult(
         proxy_executed=proxy_stats[0],
@@ -333,8 +425,8 @@ def run_firewall_comparison(seed: int = 23, commands: int = 20) -> FirewallCompa
         firewall_executed=firewall_stats[0],
         firewall_total=firewall_stats[2],
         firewall_mean_reply_delay=firewall_stats[1],
-        firewall_sessions_broken=sessions_broken,
-        proxy_sessions_broken=proxy_sessions_broken,
+        firewall_sessions_broken=firewall_stats[3],
+        proxy_sessions_broken=proxy_stats[3],
     )
 
 

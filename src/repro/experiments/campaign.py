@@ -17,6 +17,7 @@ from typing import List, Optional
 from repro.analysis.reporting import render_table
 from repro.attacks.remote import CompromisedPlaybackAttack
 from repro.audio.speech import SPEECH_WORDS_PER_SECOND
+from repro.experiments.parallel import ExperimentEngine, ExperimentTask
 from repro.experiments.scenarios import build_scenario
 
 CAMPAIGN_PAYLOADS = (
@@ -113,14 +114,32 @@ def _run_home(seed: int, protected: bool, owner_home: bool) -> HomeOutcome:
     )
 
 
-def run_campaign(homes: int = 6, seed: int = 200) -> CampaignResult:
+def run_campaign(
+    homes: int = 6,
+    seed: int = 200,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
+) -> CampaignResult:
     """Run the campaign against ``homes`` protected and ``homes``
-    unprotected households."""
-    result = CampaignResult()
+    unprotected households.
+
+    Every home is an independent simulation (its own seed and resident
+    behaviour), so ``workers`` fans the fleet out over a process pool
+    without changing any outcome.
+    """
+    tasks = []
     for index in range(homes):
         owner_home = index % 2 == 0
-        result.homes.append(_run_home(seed + index, protected=False,
-                                      owner_home=owner_home))
-        result.homes.append(_run_home(seed + index, protected=True,
-                                      owner_home=owner_home))
-    return result
+        for protected in (False, True):
+            tasks.append(ExperimentTask(
+                fn=_run_home,
+                args=(seed + index,),
+                kwargs=dict(protected=protected, owner_home=owner_home),
+                label=f"campaign/home{index}/"
+                      f"{'guarded' if protected else 'unprotected'}",
+            ))
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    return CampaignResult(homes=engine.run(tasks))

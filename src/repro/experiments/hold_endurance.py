@@ -22,6 +22,7 @@ from typing import List
 
 from repro.analysis.reporting import render_table
 from repro.audio.speech import full_utterance_duration
+from repro.experiments.parallel import ExperimentEngine, ExperimentTask
 from repro.experiments.scenarios import build_scenario
 from repro.net.proxy import ForwarderDecision
 
@@ -123,11 +124,26 @@ def _run_trial(hold_seconds: float, use_proxy_hold: bool, seed: int) -> HoldTria
 def run_hold_endurance(
     holds: tuple = (2.0, 10.0, 30.0, 60.0),
     seed: int = 29,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
 ) -> HoldEnduranceResult:
-    """Sweep hold durations for the proxy and a silent-drop actuator."""
-    result = HoldEnduranceResult()
-    for hold_seconds in holds:
-        result.trials.append(_run_trial(hold_seconds, use_proxy_hold=True, seed=seed))
-    for hold_seconds in holds:
-        result.trials.append(_run_trial(hold_seconds, use_proxy_hold=False, seed=seed + 1))
-    return result
+    """Sweep hold durations for the proxy and a silent-drop actuator.
+
+    Each (actuator, hold) trial is an independent scenario; ``workers``
+    fans the sweep out over a process pool.
+    """
+    tasks = []
+    for use_proxy_hold, arm_seed in ((True, seed), (False, seed + 1)):
+        for hold_seconds in holds:
+            actuator = "proxy" if use_proxy_hold else "discard"
+            tasks.append(ExperimentTask(
+                fn=_run_trial,
+                args=(hold_seconds,),
+                kwargs=dict(use_proxy_hold=use_proxy_hold, seed=arm_seed),
+                label=f"hold/{actuator}/{hold_seconds:g}s",
+            ))
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    return HoldEnduranceResult(trials=engine.run(tasks))

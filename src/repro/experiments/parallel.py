@@ -1,0 +1,319 @@
+"""Process-pool experiment engine.
+
+Every paper artifact fans out over *independent* scenario runs: the
+four cells of an RSSI table, the homes of a campaign, the arms of an
+ablation, the sections of the full report.  Each run is a pure
+function of its arguments (testbed, speaker, deployment, seed, counts,
+config), so they can execute in worker processes without changing any
+result.  This module provides that executor:
+
+* :class:`ExperimentTask` — a picklable unit of work (a module-level
+  callable plus its arguments) with a stable content-addressed key.
+* :class:`ExperimentEngine` — runs a batch of tasks either serially
+  (``workers=1``, byte-identical to calling the functions in a loop)
+  or on a ``ProcessPoolExecutor``, preserving submission order in the
+  returned results.
+* :func:`derive_seed` — deterministic per-task seed derivation from a
+  base seed and arbitrary labels (SHA-256 based, so stable across
+  processes, platforms and Python hash randomization).
+* An on-disk result cache keyed by the task's arguments plus a
+  code-version tag, so re-running an unchanged experiment is free and
+  editing any source file under :mod:`repro` invalidates everything.
+
+A crashed worker (killed process, segfault) surfaces as
+:class:`repro.errors.ExperimentError` naming the task that was in
+flight, rather than hanging the run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import enum
+import hashlib
+import multiprocessing
+import os
+import pathlib
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_SEED_SPACE = 2**32
+
+
+def derive_seed(base: int, *parts: object) -> int:
+    """Derive a deterministic task seed from ``base`` and any labels.
+
+    Unlike ``hash()``, the derivation is stable across processes and
+    interpreter invocations, so a task derives the same seed whether it
+    runs serially, in a pool worker, or in next week's rerun.
+    """
+    text = "|".join([str(int(base)), *(str(part) for part in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+# ---------------------------------------------------------------------------
+# Cache keys
+# ---------------------------------------------------------------------------
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """A tag that changes whenever any source file under ``repro`` does.
+
+    Cached results are only valid for the code that produced them; the
+    tag is folded into every cache key so a source edit invalidates the
+    whole cache at once (conservative, but never stale).
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def _canonical(value: object) -> str:
+    """A deterministic textual form of a task argument.
+
+    Must be stable across processes: no ``id()``-bearing reprs for the
+    types experiments actually pass (primitives, containers, enums,
+    config dataclasses, callables).
+    """
+    if isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        return "{" + ",".join(f"{_canonical(k)}:{_canonical(v)}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(item) for item in value) + "]"
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__qualname__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = ",".join(
+            f"{f.name}={_canonical(getattr(value, f.name))}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    if callable(value):
+        return f"{getattr(value, '__module__', '?')}:{getattr(value, '__qualname__', repr(value))}"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One unit of work: a module-level callable plus its arguments.
+
+    ``fn`` must be importable by name (no lambdas/closures) so the task
+    can cross a process boundary; its arguments and return value must
+    be picklable.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[object, ...] = ()
+    kwargs: Dict[str, object] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            object.__setattr__(self, "label", getattr(self.fn, "__name__", "task"))
+
+    def cache_key(self) -> str:
+        """Content-addressed key: arguments + code-version tag."""
+        payload = _canonical((self.fn, self.args, self.kwargs, code_version()))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def execute(self) -> object:
+        return self.fn(*self.args, **self.kwargs)
+
+
+@dataclass
+class TaskTiming:
+    """Structured timing/progress record for one executed task."""
+
+    label: str
+    elapsed: float
+    cache_hit: bool = False
+    workers: int = 1
+
+    @property
+    def source(self) -> str:
+        return "cache" if self.cache_hit else "run"
+
+
+def resolve_cache_dir(cache_dir: Optional[os.PathLike] = None) -> pathlib.Path:
+    """Cache location: explicit arg > ``$REPRO_CACHE_DIR`` > user cache."""
+    if cache_dir is not None:
+        return pathlib.Path(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "experiments"
+
+
+def _pool_invoke(fn: Callable[..., Any], args: tuple, kwargs: dict) -> Tuple[object, float]:
+    """Worker-side entry: run the task and report its own wall time."""
+    start = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - start
+
+
+class ExperimentEngine:
+    """Fans independent experiment tasks out over a process pool.
+
+    ``workers=1`` (the default) executes in-process, in submission
+    order — byte-identical to the historical serial loops.  ``workers=0``
+    means "one per CPU".  Results always come back in submission order
+    regardless of completion order.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        use_cache: bool = False,
+        cache_dir: Optional[os.PathLike] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if workers < 0:
+            raise ExperimentError(f"workers must be >= 0, got {workers!r}")
+        self.workers = workers if workers > 0 else (os.cpu_count() or 1)
+        self.use_cache = use_cache
+        self.cache_dir = resolve_cache_dir(cache_dir)
+        self.progress = progress
+        self.timings: List[TaskTiming] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache -------------------------------------------------------------
+    def _cache_path(self, task: ExperimentTask) -> pathlib.Path:
+        name = getattr(task.fn, "__name__", "task")
+        return self.cache_dir / f"{name}-{task.cache_key()[:40]}.pkl"
+
+    def _cache_load(self, task: ExperimentTask) -> Tuple[bool, object]:
+        path = self._cache_path(task)
+        if not path.exists():
+            return False, None
+        try:
+            with path.open("rb") as handle:
+                return True, pickle.load(handle)
+        except Exception:
+            # Corrupt or unreadable entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def _cache_store(self, task: ExperimentTask, value: object) -> None:
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            path = self._cache_path(task)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            # Caching is best-effort; an unwritable cache never fails a run.
+            pass
+
+    # -- progress ----------------------------------------------------------
+    def _emit(self, message: str) -> None:
+        if self.progress:
+            self.progress(message)
+
+    # -- execution ---------------------------------------------------------
+    def run(self, tasks: Sequence[ExperimentTask]) -> List[object]:
+        """Execute ``tasks``; returns their results in submission order."""
+        tasks = list(tasks)
+        results: List[object] = [None] * len(tasks)
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            if self.use_cache:
+                hit, value = self._cache_load(task)
+                if hit:
+                    results[index] = value
+                    self.cache_hits += 1
+                    self.timings.append(TaskTiming(task.label, 0.0, cache_hit=True,
+                                                   workers=self.workers))
+                    self._emit(f"cached {task.label}")
+                    continue
+                self.cache_misses += 1
+            pending.append(index)
+
+        if self.workers <= 1 or len(pending) <= 1:
+            self._run_serial(tasks, pending, results)
+        else:
+            self._run_pool(tasks, pending, results)
+        return results
+
+    def _finish(self, task: ExperimentTask, value: object, elapsed: float) -> None:
+        self.timings.append(TaskTiming(task.label, elapsed, workers=self.workers))
+        if self.use_cache:
+            self._cache_store(task, value)
+
+    def _run_serial(self, tasks, pending, results) -> None:
+        for index in pending:
+            task = tasks[index]
+            self._emit(f"running {task.label}...")
+            start = time.perf_counter()
+            value = task.execute()
+            results[index] = value
+            self._finish(task, value, time.perf_counter() - start)
+
+    def _run_pool(self, tasks, pending, results) -> None:
+        # Fork start-up is near-free and inherits imported modules; fall
+        # back to the platform default (spawn) where fork is unavailable.
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)), mp_context=context,
+        )
+        futures = {}
+        try:
+            for index in pending:
+                task = tasks[index]
+                self._emit(f"running {task.label}...")
+                futures[pool.submit(_pool_invoke, task.fn, task.args,
+                                    dict(task.kwargs))] = index
+            done = 0
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                task = tasks[index]
+                try:
+                    value, elapsed = future.result()
+                except concurrent.futures.process.BrokenProcessPool as exc:
+                    raise ExperimentError(
+                        f"worker crashed while running {task.label!r} "
+                        f"(pool of {self.workers} broken): {exc}"
+                    ) from exc
+                results[index] = value
+                self._finish(task, value, elapsed)
+                done += 1
+                self._emit(f"finished {task.label} "
+                           f"({done}/{len(pending)}, {elapsed:.1f}s)")
+        finally:
+            # cancel_futures stops queued tasks after a failure; waiting
+            # joins the workers so nothing lingers past the run.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+
+def run_tasks(
+    tasks: Sequence[ExperimentTask],
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir: Optional[os.PathLike] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[object]:
+    """One-shot convenience: build an engine, run, return the results."""
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    return engine.run(tasks)

@@ -10,8 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.reporting import render_table
+from repro.analysis.reporting import fmt_percent, render_table
 from repro.core.config import VoiceGuardConfig
+from repro.experiments.parallel import ExperimentEngine, ExperimentTask
 from repro.experiments.runner import RssiExperimentResult, run_rssi_experiment
 
 # Paper-reported cell values for reference printing: per testbed, per
@@ -76,9 +77,9 @@ class RssiTableResult:
                 row["case"],
                 row["legitimate (N)"],
                 row["malicious (P)"],
-                f"{cell.matrix.accuracy:.2%}",
-                f"{cell.matrix.precision:.2%}",
-                f"{cell.matrix.recall:.2%}",
+                row["accuracy"],
+                row["precision"],
+                row["recall"],
             ])
         return render_table(
             TABLE_TITLES[self.testbed],
@@ -98,7 +99,7 @@ class RssiTableResult:
                 paper_legit,
                 f"{cell.malicious_correct} / {cell.malicious_total}",
                 paper_mal,
-                f"{cell.matrix.accuracy:.2%}",
+                fmt_percent(cell.matrix.accuracy),
             ])
         return render_table(
             TABLE_TITLES[self.testbed] + "  (measured vs paper)",
@@ -118,23 +119,35 @@ def run_rssi_table(
     seed: int = 0,
     config: Optional[VoiceGuardConfig] = None,
     scale: float = 1.0,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
 ) -> RssiTableResult:
     """Run all four cells of one table.
 
     ``scale`` shrinks the command counts proportionally for quick runs
-    (tests use ~0.3; benchmarks use 1.0 = the paper's counts).
+    (tests use ~0.3; benchmarks use 1.0 = the paper's counts).  The
+    cells are independent runs; ``workers`` fans them out over a
+    process pool with identical results (each cell's seed is fixed by
+    its arguments, not by execution order).
     """
-    cells = []
+    tasks = []
     for speaker in ("echo", "google"):
         for deployment in (0, 1):
             legit, malicious = PAPER_COUNTS[testbed][(speaker, deployment)]
-            cells.append(run_rssi_experiment(
-                testbed,
-                speaker,
-                deployment,
-                seed=seed + deployment + (10 if speaker == "google" else 0),
-                legit_count=max(5, int(round(legit * scale))),
-                malicious_count=max(5, int(round(malicious * scale))),
-                config=config,
+            tasks.append(ExperimentTask(
+                fn=run_rssi_experiment,
+                args=(testbed, speaker, deployment),
+                kwargs=dict(
+                    seed=seed + deployment + (10 if speaker == "google" else 0),
+                    legit_count=max(5, int(round(legit * scale))),
+                    malicious_count=max(5, int(round(malicious * scale))),
+                    config=config,
+                ),
+                label=f"rssi/{testbed}/{speaker}/loc{deployment + 1}",
             ))
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    cells = engine.run(tasks)
     return RssiTableResult(testbed=testbed, cells=cells)

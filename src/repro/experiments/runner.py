@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.metrics import ConfusionMatrix
+from repro.analysis.reporting import fmt_percent
 from repro.experiments.scenarios import build_scenario
 from repro.experiments.workload import SevenDayWorkload, WorkloadResult
 from repro.speakers.base import InteractionOutcome, InteractionRecord
@@ -44,14 +45,19 @@ class RssiExperimentResult:
         return self.matrix.actual_positive
 
     def row(self) -> Dict[str, object]:
-        """A row in the paper's table format."""
+        """A row in the paper's table format.
+
+        Metrics render as percentages; an undefined metric (NaN, e.g.
+        precision of a cell with zero positive predictions) renders as
+        an em dash rather than ``nan%``.
+        """
         return {
             "case": self.scenario_name,
             "legitimate (N)": f"{self.legit_correct} / {self.legit_total}",
             "malicious (P)": f"{self.malicious_correct} / {self.malicious_total}",
-            "accuracy": self.matrix.accuracy,
-            "precision": self.matrix.precision,
-            "recall": self.matrix.recall,
+            "accuracy": fmt_percent(self.matrix.accuracy),
+            "precision": fmt_percent(self.matrix.precision),
+            "recall": fmt_percent(self.matrix.recall),
         }
 
     def correct_flags(self) -> List[bool]:
@@ -62,11 +68,16 @@ class RssiExperimentResult:
             flags.append(blocked == record.is_attack)
         return flags
 
-    def accuracy_interval(self, confidence: float = 0.95):
-        """95 % bootstrap interval on this cell's accuracy."""
+    def accuracy_interval(self, confidence: float = 0.95, seed: int = 0):
+        """95 % bootstrap interval on this cell's accuracy.
+
+        The resampling is explicitly seeded so repeated report runs
+        print identical confidence intervals.
+        """
         from repro.analysis.stats import accuracy_interval
 
-        return accuracy_interval(self.correct_flags(), confidence=confidence)
+        return accuracy_interval(self.correct_flags(), confidence=confidence,
+                                 seed=seed)
 
 
 def score_interactions(records: List[InteractionRecord]) -> ConfusionMatrix:

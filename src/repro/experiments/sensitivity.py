@@ -14,6 +14,7 @@ from typing import List, Sequence
 
 from repro.analysis.reporting import render_table
 from repro.core.config import VoiceGuardConfig
+from repro.experiments.parallel import ExperimentEngine, ExperimentTask
 from repro.experiments.runner import RssiExperimentResult, run_rssi_experiment
 
 
@@ -62,6 +63,10 @@ def run_sensitivity(
     decision_timeouts: Sequence[float] = (1.0, 5.0),
     seed: int = 37,
     scale: int = 30,
+    workers: int = 1,
+    use_cache: bool = False,
+    cache_dir=None,
+    progress=None,
 ) -> SensitivityResult:
     """Sweep the RSSI margin and decision timeout.
 
@@ -69,21 +74,35 @@ def run_sensitivity(
     marginal cell): a generous margin loosens the threshold, first
     helping precision, then admitting near-room attacks (recall loss).
     A tiny decision timeout forces fail-closed verdicts before any
-    phone can answer (precision collapse).
+    phone can answer (precision collapse).  Every sweep point is an
+    independent run and fans out over the experiment engine.
     """
-    result = SensitivityResult()
+    tasks = []
+    labels = []
     for margin in rssi_margins:
-        cell = _cell(VoiceGuardConfig(rssi_margin=margin), seed, scale, deployment=1)
-        result.points.append(SweepPoint(
-            "rssi_margin", margin,
-            cell.matrix.accuracy, cell.matrix.precision, cell.matrix.recall,
+        tasks.append(ExperimentTask(
+            fn=_cell,
+            args=(VoiceGuardConfig(rssi_margin=margin), seed, scale),
+            kwargs=dict(deployment=1),
+            label=f"sensitivity/rssi_margin={margin:g}",
         ))
+        labels.append(("rssi_margin", margin))
     for timeout in decision_timeouts:
         config = VoiceGuardConfig(decision_timeout=timeout,
                                   max_hold=max(25.0, timeout))
-        cell = _cell(config, seed + 1, scale)
+        tasks.append(ExperimentTask(
+            fn=_cell,
+            args=(config, seed + 1, scale),
+            label=f"sensitivity/decision_timeout={timeout:g}",
+        ))
+        labels.append(("decision_timeout", timeout))
+
+    engine = ExperimentEngine(workers=workers, use_cache=use_cache,
+                              cache_dir=cache_dir, progress=progress)
+    result = SensitivityResult()
+    for (parameter, value), cell in zip(labels, engine.run(tasks)):
         result.points.append(SweepPoint(
-            "decision_timeout", timeout,
+            parameter, value,
             cell.matrix.accuracy, cell.matrix.precision, cell.matrix.recall,
         ))
     return result

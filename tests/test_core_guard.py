@@ -98,6 +98,35 @@ class TestGuardFacade:
         assert len(scenario.guard.log.events) > 0
 
 
+class TestLateRegistration:
+    """Devices enrolled after enable_floor_tracking must be trackable
+    with an explicit starting floor (regression: they were silently
+    assumed to be on the speaker's floor)."""
+
+    @pytest.fixture(scope="class")
+    def tracked_scenario(self):
+        return build_scenario(
+            "house", "echo", deployment=0, seed=103, owner_count=1,
+        )
+
+    def test_late_device_with_initial_floor(self, tracked_scenario):
+        scenario = tracked_scenario
+        env = scenario.env
+        person = env.add_person("late-owner", scenario.owners[0].position)
+        device = env.add_smartphone("late-phone", person)
+        scenario.guard.register_device(device, threshold=-8.0, initial_floor=1)
+        assert scenario.guard.floor_tracker.floor_of("late-phone") == 1
+
+    def test_late_device_defaults_to_speaker_floor(self, tracked_scenario):
+        scenario = tracked_scenario
+        env = scenario.env
+        person = env.add_person("late-owner2", scenario.owners[0].position)
+        device = env.add_smartphone("late-phone2", person)
+        scenario.guard.register_device(device, threshold=-8.0)
+        tracker = scenario.guard.floor_tracker
+        assert tracker.floor_of("late-phone2") == tracker.speaker_floor
+
+
 class TestMaxHoldFailsafe:
     def test_failsafe_resolves_stuck_window(self):
         # A decision method that never answers: the max-hold failsafe
