@@ -1,0 +1,37 @@
+"""RSSI kernel microbenchmarks (the PR-2 vectorized substrate).
+
+Times every layer of the radio hot path — the pre-optimization scalar
+reference, the memoized scalar path, the vectorized batch APIs, the
+wall-crossing kernels, and event-queue dispatch — and publishes both a
+human-readable table and the machine-readable ``BENCH_rssi.json``
+consumed by perf-regression tooling.
+
+The equivalence between the reference and the batched grid kernel is
+asserted inside ``run_bench_rssi`` before anything is timed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.bench_rssi import render_bench, run_bench_rssi
+
+# Keep the pytest pass quick; the committed BENCH_rssi.json artifact is
+# refreshed by benchmarks/run_benches.sh with the default (longer)
+# per-bench budget.
+MIN_SECONDS = 0.05
+GRID_MAP_FLOOR = 5.0  # the ISSUE's acceptance bar for the grid kernel
+
+
+def test_bench_rssi_kernel(publish, results_dir):
+    payload = run_bench_rssi(testbed_name="house", seed=7, min_seconds=MIN_SECONDS)
+    publish("bench_rssi_kernel", render_bench(payload))
+    (results_dir / "BENCH_rssi.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert payload["speedups"]["grid_map"] >= GRID_MAP_FLOOR
+    # The O(1) len() must stay far cheaper than a queue operation.
+    assert (
+        payload["benches"]["pending_events_read_10k"]["usec_per_op"]
+        < payload["benches"]["event_push_pop"]["usec_per_op"]
+    )

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Refresh the committed benchmark artifacts.
+#
+#   benchmarks/run_benches.sh          # RSSI kernel bench -> BENCH_rssi.json
+#   benchmarks/run_benches.sh --all    # also re-run the full pytest bench
+#                                      # suite (regenerates every table and
+#                                      # figure artifact under results/)
+#
+# Run from the repository root.  The RSSI bench asserts, before timing,
+# that the batched kernels reproduce the scalar reference bit-for-bit,
+# so a passing run doubles as an equivalence check.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src
+export PYTHONPATH
+
+python -m repro bench-rssi --seed 7 --output benchmarks/results/BENCH_rssi.json
+
+if [ "${1:-}" = "--all" ]; then
+    python -m pytest benchmarks/ -q
+fi

@@ -7,6 +7,7 @@ Commands
 ``fig``         — one of 3 | 4 | 6 | 7 | 8 | 9 | 10
 ``campaign``    — the multi-home media campaign experiment
 ``endurance``   — the hold-endurance sweep
+``bench-rssi``  — microbenchmark the RSSI kernel, write BENCH_rssi.json
 ``demo``        — the quickstart scenario, narrated
 """
 
@@ -105,6 +106,19 @@ def _cmd_endurance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_rssi(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_rssi import render_bench, run_bench_rssi, write_bench
+
+    payload = run_bench_rssi(
+        testbed_name=args.testbed, seed=args.seed, min_seconds=args.seconds
+    )
+    print(render_bench(payload))
+    if args.output:
+        write_bench(args.output, payload)
+        print(f"(written to {args.output})")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import runpy
     import pathlib
@@ -161,6 +175,17 @@ def build_parser() -> argparse.ArgumentParser:
     endurance = sub.add_parser("endurance", parents=[common, parallel],
                                help="hold-endurance sweep")
     endurance.set_defaults(func=_cmd_endurance)
+
+    bench = sub.add_parser("bench-rssi", parents=[common],
+                           help="microbenchmark the RSSI kernel + event queue")
+    bench.add_argument("--testbed", choices=["house", "apartment", "office"],
+                       default="house")
+    bench.add_argument("--seconds", type=float, default=0.2,
+                       help="minimum wall time per microbenchmark")
+    bench.add_argument("--output", default=None,
+                       help="also write the machine-readable JSON payload here "
+                            "(e.g. benchmarks/results/BENCH_rssi.json)")
+    bench.set_defaults(func=_cmd_bench_rssi)
 
     demo = sub.add_parser("demo", parents=[common], help="run the quickstart demo")
     demo.set_defaults(func=_cmd_demo)

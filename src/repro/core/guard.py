@@ -74,6 +74,9 @@ class VoiceGuard:
         self.proxy.record_policy = self.recognition.observe
         self.proxy.add_snooper(self.recognition.observe_snoop)
         self.recognition.on_classified = self.handler.on_window_classified
+        # Closed flows release their recognizer state so week-long
+        # campaigns don't accumulate one _FlowState per connection.
+        self.proxy.on_flow_closed = self.recognition.on_flow_closed
 
         self._protected: Dict[IPv4Address, SpeakerProfile] = {}
 

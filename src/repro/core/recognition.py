@@ -43,9 +43,6 @@ class SpeakerProfile(enum.Enum):
     GOOGLE = "google"
 
 
-_window_ids = itertools.count(1)
-
-
 @dataclass
 class Window:
     """One spike window: consecutive records without an idle gap."""
@@ -138,6 +135,9 @@ class TrafficRecognition:
         self.on_classified: Optional[ClassifiedCallback] = None
         self._speakers: Dict[IPv4Address, _SpeakerState] = {}
         self._flows: Dict[int, _FlowState] = {}
+        # Window ids are per-recognizer (not module-global) so repeated
+        # runs in one process number their windows identically.
+        self._window_ids = itertools.count(1)
         self.windows_opened = 0
         # Ablation knob: with signature tracking off, the guard only
         # learns AVS IPs from DNS and loses the server after silent
@@ -213,10 +213,26 @@ class TrafficRecognition:
             self._try_classify(speaker, window)
         return self._window_action(window)
 
+    # -- lifecycle ------------------------------------------------------------
+    def on_flow_closed(self, flow: ProxiedFlow) -> None:
+        """Forget a closed flow's tracking state.
+
+        Long campaign runs open thousands of short-lived connections;
+        without pruning, ``_flows`` grows one entry per flow for the
+        life of the guard.  A still-pending window is unaffected: the
+        scheduled classification check holds its own reference and
+        settles it normally.
+        """
+        self._flows.pop(flow.flow_id, None)
+
+    def tracked_flow_count(self) -> int:
+        """Number of flows currently holding recognizer state."""
+        return len(self._flows)
+
     # -- window mechanics ------------------------------------------------------------
     def _open_window(self, speaker: _SpeakerState, fs: _FlowState, packet: Packet, now: float) -> None:
         window = Window(
-            window_id=next(_window_ids),
+            window_id=next(self._window_ids),
             flow=fs.flow,
             speaker_ip=fs.flow.client.ip,
             opened_at=now,

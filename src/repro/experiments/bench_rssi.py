@@ -1,0 +1,278 @@
+"""Microbenchmarks for the RSSI kernel, wall geometry, and event queue.
+
+``run_bench_rssi`` times the radio hot path at every layer — the pre-PR
+scalar reference (re-implemented here, verbatim, so the "before" cost
+stays measurable after the optimization), the memoized scalar path, the
+vectorized batch APIs, the wall-crossing kernels, and event-queue
+dispatch — and emits a machine-readable ``BENCH_rssi.json`` so later
+PRs have a perf trajectory to regress against.
+
+Run it with ``python -m repro bench-rssi`` (or
+``benchmarks/run_benches.sh``); the committed artifact lives at
+``benchmarks/results/BENCH_rssi.json``.
+
+Every before/after pair is also *checked for equality* while being
+timed: a speedup that changed the numbers would be a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.radio.geometry import Point, distance
+from repro.radio.propagation import PropagationModel
+from repro.radio.testbeds import testbed_by_name
+from repro.sim.events import EventQueue
+
+GRID_SAMPLES = 16  # the paper's 4 orientations x 4 measurements
+
+
+# -- the pre-optimization reference, kept runnable ------------------------
+def reference_mean_rssi(model: PropagationModel, tx: Point, rx: Point) -> float:
+    """The seed repo's ``mean_rssi``: no memo, per-call SHA-256, per-wall
+    python loop.  This is the "before" every speedup is measured against."""
+    p = model.params
+    d = max(distance(tx, rx), p.reference_distance)
+    path_loss = p.path_loss_per_decade * np.log10(d / p.reference_distance)
+    walls = model.plan.walls_crossed_scalar(tx, rx)
+    slab_loss = model.plan.slab_penalties(tx, rx, p.floor_penalty)
+    key = (
+        f"{model._seed}|{round(tx.x * 4)},{round(tx.y * 4)},{round(tx.z * 4)}"
+        f"|{round(rx.x * 4)},{round(rx.y * 4)},{round(rx.z * 4)}"
+    )
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    unit = int.from_bytes(digest[:8], "little") / float(2**64)
+    unit2 = int.from_bytes(digest[8:16], "little") / float(2**64)
+    shadow = (unit + unit2 - 1.0) * p.shadowing_sigma * 2.0
+    rssi = p.reference_rssi - path_loss - p.wall_penalty * walls - slab_loss + shadow
+    return float(max(rssi, p.rssi_floor))
+
+
+def reference_average_rssi(
+    model: PropagationModel,
+    tx: Point,
+    rx: Point,
+    rng: np.random.Generator,
+    samples: int = GRID_SAMPLES,
+    body_blocked_fraction: float = 0.25,
+) -> float:
+    """The seed repo's ``average_rssi``: full mean recompute per sample."""
+    p = model.params
+    readings = []
+    for index in range(samples):
+        blocked = (index / samples) < body_blocked_fraction
+        rssi = reference_mean_rssi(model, tx, rx)
+        rssi += float(rng.normal(0.0, p.sample_noise_sigma))
+        if blocked:
+            rssi -= float(abs(rng.normal(p.body_occlusion, p.body_occlusion / 2)))
+        readings.append(float(max(rssi, p.rssi_floor)))
+    return float(np.mean(readings))
+
+
+# -- timing ----------------------------------------------------------------
+def _time_ops(fn: Callable[[], int], min_seconds: float = 0.2) -> Dict[str, float]:
+    """Run ``fn`` (returns ops performed) until ``min_seconds`` elapse."""
+    fn()  # warm-up: caches, numpy import paths, allocator
+    ops = 0
+    start = time.perf_counter()
+    while True:
+        ops += fn()
+        elapsed = time.perf_counter() - start
+        if elapsed >= min_seconds:
+            break
+    ops_per_sec = ops / elapsed
+    return {
+        "ops_per_sec": round(ops_per_sec, 1),
+        "usec_per_op": round(1e6 / ops_per_sec, 3),
+    }
+
+
+def run_bench_rssi(
+    testbed_name: str = "house",
+    seed: int = 7,
+    min_seconds: float = 0.2,
+) -> Dict:
+    """Time every layer of the RSSI substrate; returns the JSON payload."""
+    testbed = testbed_by_name(testbed_name)
+    plan = testbed.plan
+    model = PropagationModel(plan, seed=seed)
+    tx = testbed.speaker_point(0)
+    grid: List[Point] = [mp.point for _, mp in sorted(plan.points.items())]
+    far = grid[len(grid) // 2]
+
+    benches: Dict[str, Dict[str, float]] = {}
+
+    # mean_rssi: reference vs memoized vs vectorized-many.
+    benches["mean_rssi_reference"] = _time_ops(
+        lambda: sum(1 for rx in grid if reference_mean_rssi(model, tx, rx) > -999),
+        min_seconds,
+    )
+    model.mean_rssi(tx, far)  # ensure a warm entry
+    benches["mean_rssi_cached"] = _time_ops(
+        lambda: sum(1 for _ in range(1000) if model.mean_rssi(tx, far) > -999),
+        min_seconds,
+    )
+
+    def _many_pass() -> int:
+        model._mean_cache.clear()  # time the compute, not the memo hit
+        model.mean_rssi_many(tx, grid)
+        return len(grid)
+
+    benches["mean_rssi_many"] = _time_ops(_many_pass, min_seconds)
+
+    # Noisy sampling: scalar loop vs one batched draw (warm mean).
+    rng = np.random.default_rng(seed)
+    blocked = [(i / GRID_SAMPLES) < 0.25 for i in range(GRID_SAMPLES)]
+
+    def _scalar_samples() -> int:
+        for flag in blocked:
+            model.sample_rssi(tx, far, rng, body_blocked=flag)
+        return GRID_SAMPLES
+
+    benches["sample_rssi_scalar"] = _time_ops(_scalar_samples, min_seconds)
+    benches["sample_rssi_batch"] = _time_ops(
+        lambda: len(model.sample_rssi_batch(tx, far, rng, blocked)),
+        min_seconds,
+    )
+
+    # The grid-map kernel (Figures 8/9): whole numbered grid, 16-sample
+    # averages.  Before = the seed implementation; after = the batched
+    # pipeline exactly as run_rssi_map drives it.  Same seeds, and the
+    # outputs are asserted equal before either is timed.
+    check_rng = np.random.default_rng(seed + 1)
+    check_ref = [reference_average_rssi(model, tx, rx, check_rng) for rx in grid]
+    model._mean_cache.clear()
+    check_new = model.average_rssi_grid(
+        tx, grid, np.random.default_rng(seed + 1), samples=GRID_SAMPLES
+    )
+    if check_ref != [float(v) for v in check_new]:
+        raise AssertionError("batched grid kernel diverged from the scalar reference")
+
+    def _grid_reference() -> int:
+        grid_rng = np.random.default_rng(seed + 1)
+        for rx in grid:
+            reference_average_rssi(model, tx, rx, grid_rng)
+        return len(grid)
+
+    def _grid_batched() -> int:
+        model._mean_cache.clear()
+        grid_rng = np.random.default_rng(seed + 1)
+        model.average_rssi_grid(tx, grid, grid_rng, samples=GRID_SAMPLES)
+        return len(grid)
+
+    benches["grid_map_reference"] = _time_ops(_grid_reference, min_seconds)
+    benches["grid_map_batched"] = _time_ops(_grid_batched, min_seconds)
+
+    # Wall-crossing kernels (one distant pair; per-pair ops).
+    benches["walls_crossed_scalar"] = _time_ops(
+        lambda: sum(1 for rx in grid if plan.walls_crossed_scalar(tx, rx) >= 0),
+        min_seconds,
+    )
+    benches["walls_crossed_many"] = _time_ops(
+        lambda: len(plan.walls_crossed_many(tx, grid)),
+        min_seconds,
+    )
+
+    # Event queue: dispatch throughput and the O(1) pending count.
+    def _dispatch() -> int:
+        queue = EventQueue()
+        sink = (lambda: None)
+        for i in range(2000):
+            queue.push(float(i % 97), sink)
+        while queue.pop() is not None:
+            pass
+        return 4000  # 2000 pushes + 2000 pops
+
+    benches["event_push_pop"] = _time_ops(_dispatch, min_seconds)
+
+    big = EventQueue()
+    for i in range(10_000):
+        big.push(float(i), lambda: None)
+    benches["pending_events_read_10k"] = _time_ops(
+        lambda: sum(1 for _ in range(10_000) if len(big) >= 0),
+        min_seconds,
+    )
+
+    speedups = {
+        "grid_map": round(
+            benches["grid_map_batched"]["ops_per_sec"]
+            / benches["grid_map_reference"]["ops_per_sec"],
+            2,
+        ),
+        "mean_rssi_cached_vs_reference": round(
+            benches["mean_rssi_cached"]["ops_per_sec"]
+            / benches["mean_rssi_reference"]["ops_per_sec"],
+            2,
+        ),
+        "mean_rssi_many_vs_reference": round(
+            benches["mean_rssi_many"]["ops_per_sec"]
+            / benches["mean_rssi_reference"]["ops_per_sec"],
+            2,
+        ),
+        "sample_batch_vs_scalar": round(
+            benches["sample_rssi_batch"]["ops_per_sec"]
+            / benches["sample_rssi_scalar"]["ops_per_sec"],
+            2,
+        ),
+        "walls_many_vs_scalar": round(
+            benches["walls_crossed_many"]["ops_per_sec"]
+            / benches["walls_crossed_scalar"]["ops_per_sec"],
+            2,
+        ),
+    }
+    return {
+        "meta": {
+            "testbed": testbed_name,
+            "grid_points": len(grid),
+            "samples_per_location": GRID_SAMPLES,
+            "walls": len(plan.walls),
+            "seed": seed,
+            "min_seconds_per_bench": min_seconds,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "benches": benches,
+        "speedups": speedups,
+        "units": {
+            "grid_map_*": "locations (16-sample averages) per second",
+            "mean_rssi_* / sample_* / walls_*": "single evaluations per second",
+            "event_push_pop": "queue operations per second",
+            "pending_events_read_10k": "len() reads per second on a 10k heap",
+        },
+    }
+
+
+def render_bench(payload: Dict) -> str:
+    """Human-readable one-screen summary of a bench payload."""
+    lines = [
+        f"RSSI kernel bench — testbed {payload['meta']['testbed']}, "
+        f"{payload['meta']['grid_points']} grid points, "
+        f"{payload['meta']['walls']} walls",
+        "",
+        f"{'bench':32} {'ops/sec':>14} {'usec/op':>10}",
+    ]
+    for name, stats in payload["benches"].items():
+        lines.append(
+            f"{name:32} {stats['ops_per_sec']:>14,.0f} {stats['usec_per_op']:>10.2f}"
+        )
+    lines.append("")
+    for name, ratio in payload["speedups"].items():
+        lines.append(f"speedup {name:38} {ratio:>7.2f}x")
+    return "\n".join(lines)
+
+
+def write_bench(path: str, payload: Optional[Dict] = None, **kwargs) -> Dict:
+    """Run (if needed) and persist the bench payload as JSON."""
+    if payload is None:
+        payload = run_bench_rssi(**kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return payload

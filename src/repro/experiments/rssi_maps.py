@@ -120,12 +120,22 @@ def run_rssi_map(testbed_name: str, deployment: int, seed: int = 8) -> RssiMapRe
     calibration = ThresholdCalibrator(env).calibrate(device, speaker_room)
 
     rng = env.rng.stream("rssi-map")
-    readings = []
-    for number, mp in sorted(testbed.plan.points.items()):
-        rssi = env.model.average_rssi(
-            env.speaker_beacon.position, mp.point, rng, samples=SAMPLES_PER_LOCATION
-        )
-        readings.append(LocationReading(number=number, room=mp.room_name, rssi=rssi))
+    grid = sorted(testbed.plan.points.items())
+    # One vectorized pass over the whole numbered grid: deterministic
+    # means (distances, wall counts, shadowing) batch through
+    # mean_rssi_many, and all locations' noise samples come from a
+    # single draw that consumes the rng stream exactly as the scalar
+    # per-location loop would.
+    averaged = env.model.average_rssi_grid(
+        env.speaker_beacon.position,
+        [mp.point for _, mp in grid],
+        rng,
+        samples=SAMPLES_PER_LOCATION,
+    )
+    readings = [
+        LocationReading(number=number, room=mp.room_name, rssi=float(rssi))
+        for (number, mp), rssi in zip(grid, averaged)
+    ]
 
     leak = list(HOUSE_LEAK_POINT_NUMBERS) if (
         testbed_name == "house" and deployment == 0

@@ -22,6 +22,7 @@ from repro.errors import RadioError
 from repro.home.devices import MobileDevice, MotionSensor, Smartphone, Smartwatch
 from repro.home.person import Person
 from repro.home.push import PushService
+from repro.net.packet import reset_packet_numbers
 from repro.radio.bluetooth import BluetoothBeacon
 from repro.radio.geometry import Point, distance
 from repro.radio.propagation import PropagationModel, PropagationParams
@@ -51,6 +52,9 @@ class HomeEnvironment:
             )
         self.testbed = testbed
         self.deployment = deployment
+        # Each experiment's world starts with fresh packet numbering so
+        # repeated runs in one process produce identical traces.
+        reset_packet_numbers()
         self.rng = RngHub(seed)
         self.sim = Simulator()
         self.model = PropagationModel(

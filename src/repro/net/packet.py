@@ -57,6 +57,26 @@ class TlsRecordType(enum.Enum):
 _packet_ids = itertools.count(1)
 
 
+def next_packet_number() -> int:
+    """The next packet sequence number (display/debug identity only)."""
+    return next(_packet_ids)
+
+
+def reset_packet_numbers(start: int = 1) -> None:
+    """Restart packet numbering.
+
+    Packet numbers are cosmetic (they appear in :meth:`Packet.brief`),
+    but a module-global counter leaks state across in-process runs: the
+    second run of an otherwise identical experiment numbers its packets
+    differently.  :class:`repro.home.environment.HomeEnvironment` calls
+    this at construction so every run starts from 1 and repeated runs in
+    one process are deterministic (which the parallel engine's cache
+    keys assume).
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(start)
+
+
 @dataclass
 class Packet:
     """One simulated packet.
@@ -78,7 +98,7 @@ class Packet:
     tls_type: TlsRecordType = TlsRecordType.NONE
     tls_record_seq: Optional[int] = None
     meta: Dict[str, Any] = field(default_factory=dict)
-    number: int = field(default_factory=lambda: next(_packet_ids))
+    number: int = field(default_factory=next_packet_number)
     send_time: float = 0.0
 
     def __post_init__(self) -> None:

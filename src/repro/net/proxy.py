@@ -44,7 +44,10 @@ class ForwarderDecision(enum.Enum):
     DROP = "drop"
 
 
-_flow_ids = itertools.count(1)
+# Flow ids are allocated per-proxy (see TransparentProxy._flow_ids) so
+# repeated in-process runs are deterministic; TCP flows and the UDP
+# forwarder's flows share the owning proxy's counter, keeping ids unique
+# within one guard (the recognizer keys its per-flow state on them).
 
 
 @dataclass
@@ -122,6 +125,7 @@ class TransparentProxy(TapHost):
         self._flows_by_downstream: Dict[Tuple[Endpoint, Endpoint], ProxiedFlow] = {}
         self.flows: List[ProxiedFlow] = []
         self.udp_forwarder: Optional["UdpForwarder"] = None
+        self._flow_ids = itertools.count(1)
         for port in self.proxied_ports:
             self.stack.listen(port, self._accept_downstream, transparent=True, tuning=self._tuning)
 
@@ -165,7 +169,7 @@ class TransparentProxy(TapHost):
     # -- downstream (speaker-side) ---------------------------------------
     def _accept_downstream(self, downstream: TcpConnection) -> None:
         flow = ProxiedFlow(
-            flow_id=next(_flow_ids),
+            flow_id=next(self._flow_ids),
             protocol=Protocol.TCP,
             client=downstream.remote,
             server=downstream.local,
@@ -328,7 +332,7 @@ class UdpForwarder:
         flow = self._flows.get(key)
         if flow is None:
             flow = ProxiedFlow(
-                flow_id=next(_flow_ids),
+                flow_id=next(self.proxy._flow_ids),
                 protocol=Protocol.UDP,
                 client=packet.src,
                 server=packet.dst,

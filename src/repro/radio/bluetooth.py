@@ -110,10 +110,20 @@ class BluetoothScanner:
         self.scan_count += 1
 
         def finish() -> None:
-            frames = [
-                self.instant_rssi(beacon, sim.now).rssi
+            # All frames land at the same instant, so the position is
+            # constant across the window; body occlusion is re-rolled
+            # per frame (it consumes the carrier's rng stream exactly
+            # as per-frame instant_rssi calls would).  The frame noise
+            # comes from one batched draw instead of per-frame scalar
+            # draws — same bitstream, same values.
+            position = self.position_provider()
+            blocked = [
+                bool(self.body_blocked_provider()) if self.body_blocked_provider else False
                 for _ in range(self.FRAMES_PER_SCAN)
             ]
+            frames = self.model.sample_rssi_batch(
+                beacon.position, position, self._rng, blocked
+            )
             callback(RssiSample(
                 rssi=float(sum(frames) / len(frames)),
                 time=sim.now,

@@ -10,16 +10,25 @@ refers to routes by those numbers, so the reproduction does too.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import FloorPlanError
 from repro.radio.geometry import (
     Point,
+    WallArray,
     count_floor_crossings,
     floor_crossing_points,
     point_in_rect,
     segment_crosses_wall,
 )
+
+# Wall-crossing results are memoized on exact endpoint coordinates; the
+# cache is wiped wholesale when it outgrows this bound so long mobility
+# simulations (every sample at a fresh position) cannot grow it without
+# limit.
+_CROSSING_CACHE_MAX = 1 << 16
 
 FLOOR_HEIGHT = 3.0  # metres between storeys
 DEVICE_CARRY_HEIGHT = 1.0  # phones/watches carried about a metre up
@@ -149,6 +158,10 @@ class FloorPlan:
         self.walls: List[Wall] = []
         self.points: Dict[int, MeasurementPoint] = {}
         self.slab_zones: List[SlabZone] = []
+        # Vectorized wall substrate: rebuilt lazily after wall changes.
+        self._wall_array: Optional[WallArray] = None
+        self._crossing_cache: Dict[Tuple[float, ...], int] = {}
+        self._version = 0
 
     # -- construction -----------------------------------------------------
     def add_room(self, room: Room) -> Room:
@@ -171,6 +184,7 @@ class FloorPlan:
         z_low = floor * FLOOR_HEIGHT
         wall = Wall(start=start, end=end, z_low=z_low, z_high=z_low + FLOOR_HEIGHT, doors=doors)
         self.walls.append(wall)
+        self._invalidate_geometry()
         return wall
 
     def add_slab_zone(self, zone: SlabZone) -> SlabZone:
@@ -180,7 +194,13 @@ class FloorPlan:
                 f"slab zone height {zone.slab_height} matches no floor slab"
             )
         self.slab_zones.append(zone)
+        self._version += 1
         return zone
+
+    def _invalidate_geometry(self) -> None:
+        self._wall_array = None
+        self._crossing_cache.clear()
+        self._version += 1
 
     def add_points(self, room_name: str, points: List[Point]) -> List[MeasurementPoint]:
         """Append numbered measurement points (numbering continues)."""
@@ -223,9 +243,69 @@ class FloorPlan:
         level = int(point.z // FLOOR_HEIGHT)
         return max(0, min(level, self.floor_count - 1))
 
+    @property
+    def version(self) -> int:
+        """Bumped whenever walls or slab zones change.
+
+        Consumers that memoize propagation-relevant results (e.g.
+        :class:`~repro.radio.propagation.PropagationModel`) compare this
+        to know when their caches are stale.
+        """
+        return self._version
+
+    @property
+    def wall_array(self) -> WallArray:
+        """The walls as a vectorized :class:`WallArray` (built lazily)."""
+        if self._wall_array is None:
+            self._wall_array = WallArray([
+                (
+                    wall.start,
+                    wall.end,
+                    wall.z_low,
+                    wall.z_high,
+                    [(door.u_start, door.u_end) for door in wall.doors],
+                )
+                for wall in self.walls
+            ])
+        return self._wall_array
+
     def walls_crossed(self, a: Point, b: Point) -> int:
-        """Number of walls the straight path a->b penetrates."""
+        """Number of walls the straight path a->b penetrates.
+
+        Results are memoized on the exact endpoint pair.  A single-pair
+        miss runs the per-wall python loop: with the handful of walls a
+        testbed has, numpy's fixed per-op overhead makes the vectorized
+        kernel a net loss for one pair (it wins ~5x per point once a
+        whole grid amortizes it — see :meth:`walls_crossed_many`).
+        """
+        key = (a.x, a.y, a.z, b.x, b.y, b.z)
+        cached = self._crossing_cache.get(key)
+        if cached is not None:
+            return cached
+        count = self.walls_crossed_scalar(a, b)
+        self._remember_crossing(key, count)
+        return count
+
+    def walls_crossed_scalar(self, a: Point, b: Point) -> int:
+        """Reference implementation: the original per-wall python loop."""
         return sum(1 for wall in self.walls if wall.crossed_by(a, b))
+
+    def walls_crossed_many(self, a: Point, points: Sequence[Point]) -> np.ndarray:
+        """Crossing counts from ``a`` to every receiver in ``points``.
+
+        One broadcasted (walls x points) pass; equivalent to calling
+        :meth:`walls_crossed` per point.  Results land in the same
+        memo the scalar entry point reads.
+        """
+        counts = self.wall_array.crossing_counts_many(a, points)
+        for rx, count in zip(points, counts):
+            self._remember_crossing((a.x, a.y, a.z, rx.x, rx.y, rx.z), int(count))
+        return counts
+
+    def _remember_crossing(self, key: Tuple[float, ...], count: int) -> None:
+        if len(self._crossing_cache) >= _CROSSING_CACHE_MAX:
+            self._crossing_cache.clear()
+        self._crossing_cache[key] = count
 
     def floors_crossed(self, a: Point, b: Point) -> int:
         """Number of slabs the segment a->b pierces."""

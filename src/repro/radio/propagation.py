@@ -14,18 +14,47 @@ per-floor-slab penalty ``F``, a *static* spatial shadowing term that is
 a deterministic function of the endpoint pair (so repeated measurements
 at one location agree, as they do in the paper's 16-sample averages),
 and zero-mean per-sample noise covering orientation and body effects.
+
+Hot-path architecture
+---------------------
+Every table and figure bottoms out here, so the model is layered as a
+cached, vectorized pipeline whose outputs are *bit-identical* to the
+scalar reference:
+
+* the deterministic ``mean_rssi`` is memoized on the exact endpoint
+  pair (``_mean_cache``) and its SHA-256-derived shadowing term is a
+  seeded field cached per quantized key (``_shadow_cache``), so the
+  hash runs once per 0.25 m cell instead of once per sample;
+* ``mean_rssi_many`` evaluates a whole measurement grid with numpy
+  (vectorized distances and wall counts via
+  :meth:`FloorPlan.walls_crossed_many`);
+* ``sample_rssi_batch`` / ``average_rssi_batch`` draw all per-sample
+  noise as one ``Generator.standard_normal(size)`` array, consuming the
+  bitstream in exactly the order of the scalar loop.
+
+Note on ``np.log10``: the batch path deliberately keeps numpy's log10
+(array form) rather than ``math.log10``.  Numpy's scalar and array
+ufunc loops agree bit-for-bit, but ``math.log10`` differs from them by
+1 ulp on ~3 % of inputs — swapping it in would silently change every
+table.  ``math.sqrt``/``np.sqrt`` are IEEE-exact and interchangeable.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.radio.floorplan import FloorPlan
 from repro.radio.geometry import Point, distance
+
+# Bounds for the memoization layers: mobility workloads sample at a
+# fresh position every time, so the dictionaries are wiped wholesale
+# when they outgrow these caps (grids and repeated samples stay hot).
+_MEAN_CACHE_MAX = 1 << 16
+_SHADOW_CACHE_MAX = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -55,10 +84,36 @@ class PropagationModel:
         self.plan = plan
         self.params = params or PropagationParams()
         self._seed = int(seed)
+        self._mean_cache: Dict[Tuple[float, ...], float] = {}
+        self._shadow_cache: Dict[Tuple[int, ...], float] = {}
+        self._plan_version = plan.version
+
+    def _check_plan_version(self) -> None:
+        if self.plan.version != self._plan_version:
+            self._mean_cache.clear()
+            self._shadow_cache.clear()
+            self._plan_version = self.plan.version
 
     # -- deterministic part ------------------------------------------------
     def mean_rssi(self, tx: Point, rx: Point) -> float:
-        """Expected RSSI (no sample noise), including static shadowing."""
+        """Expected RSSI (no sample noise), including static shadowing.
+
+        Memoized on the exact endpoint pair; misses fall through to
+        :meth:`mean_rssi_uncached`, the scalar reference.
+        """
+        self._check_plan_version()
+        key = (tx.x, tx.y, tx.z, rx.x, rx.y, rx.z)
+        cached = self._mean_cache.get(key)
+        if cached is not None:
+            return cached
+        value = self.mean_rssi_uncached(tx, rx)
+        if len(self._mean_cache) >= _MEAN_CACHE_MAX:
+            self._mean_cache.clear()
+        self._mean_cache[key] = value
+        return value
+
+    def mean_rssi_uncached(self, tx: Point, rx: Point) -> float:
+        """The scalar reference computation (no memoization)."""
         p = self.params
         d = max(distance(tx, rx), p.reference_distance)
         path_loss = p.path_loss_per_decade * np.log10(d / p.reference_distance)
@@ -73,22 +128,84 @@ class PropagationModel:
         )
         return float(max(rssi, p.rssi_floor))
 
+    def mean_rssi_many(self, tx: Point, points: Sequence[Point]) -> np.ndarray:
+        """Expected RSSI from ``tx`` to every receiver, vectorized.
+
+        Bit-identical to ``[mean_rssi(tx, rx) for rx in points]``: the
+        distance/path-loss arithmetic runs as elementwise float64 ops in
+        the same order as the scalar path, wall counts come from the
+        broadcasted kernel, and results are written into the same memo
+        ``mean_rssi`` reads (so a following sampling pass is all hits).
+        """
+        self._check_plan_version()
+        n = len(points)
+        out = np.empty(n, dtype=np.float64)
+        missing: List[int] = []
+        for index, rx in enumerate(points):
+            cached = self._mean_cache.get((tx.x, tx.y, tx.z, rx.x, rx.y, rx.z))
+            if cached is None:
+                missing.append(index)
+            else:
+                out[index] = cached
+        if not missing:
+            return out
+        p = self.params
+        subset = [points[i] for i in missing]
+        dx = np.array([tx.x - rx.x for rx in subset], dtype=np.float64)
+        dy = np.array([tx.y - rx.y for rx in subset], dtype=np.float64)
+        dz = np.array([tx.z - rx.z for rx in subset], dtype=np.float64)
+        d = np.maximum(np.sqrt(dx * dx + dy * dy + dz * dz), p.reference_distance)
+        path_loss = p.path_loss_per_decade * np.log10(d / p.reference_distance)
+        walls = self.plan.walls_crossed_many(tx, subset)
+        slab = np.array(
+            [self.plan.slab_penalties(tx, rx, p.floor_penalty) for rx in subset],
+            dtype=np.float64,
+        )
+        shadow = np.array(
+            [self._static_shadowing(tx, rx) for rx in subset], dtype=np.float64
+        )
+        rssi = np.maximum(
+            p.reference_rssi - path_loss - p.wall_penalty * walls - slab + shadow,
+            p.rssi_floor,
+        )
+        if len(self._mean_cache) + len(missing) >= _MEAN_CACHE_MAX:
+            self._mean_cache.clear()
+        for slot, index in enumerate(missing):
+            value = float(rssi[slot])
+            rx = points[index]
+            self._mean_cache[(tx.x, tx.y, tx.z, rx.x, rx.y, rx.z)] = value
+            out[index] = value
+        return out
+
     def _static_shadowing(self, tx: Point, rx: Point) -> float:
         """Deterministic zero-mean shadowing tied to the endpoint pair.
 
         Positions are quantized to 0.25 m so that small mobility steps
-        see a smooth-ish field rather than white noise.
+        see a smooth-ish field rather than white noise.  The SHA-256
+        evaluation runs once per quantized cell; afterwards the value
+        comes from the seeded field cache.
         """
+        qkey = (
+            round(tx.x * 4), round(tx.y * 4), round(tx.z * 4),
+            round(rx.x * 4), round(rx.y * 4), round(rx.z * 4),
+        )
+        value = self._shadow_cache.get(qkey)
+        if value is not None:
+            return value
         key = (
-            f"{self._seed}|{round(tx.x * 4)},{round(tx.y * 4)},{round(tx.z * 4)}"
-            f"|{round(rx.x * 4)},{round(rx.y * 4)},{round(rx.z * 4)}"
+            f"{self._seed}|{qkey[0]},{qkey[1]},{qkey[2]}"
+            f"|{qkey[3]},{qkey[4]},{qkey[5]}"
         )
         digest = hashlib.sha256(key.encode("utf-8")).digest()
         unit = int.from_bytes(digest[:8], "little") / float(2**64)  # 0..1
         # Inverse-CDF of a normal would be overkill; a scaled sum of two
         # uniforms gives a symmetric, bounded, roughly bell-shaped term.
         unit2 = int.from_bytes(digest[8:16], "little") / float(2**64)
-        return (unit + unit2 - 1.0) * self.params.shadowing_sigma * 2.0
+        value = (unit + unit2 - 1.0) * self.params.shadowing_sigma * 2.0
+        if len(self._shadow_cache) >= _SHADOW_CACHE_MAX:
+            self._shadow_cache.clear()
+        self._shadow_cache[qkey] = value
+        return value
 
     # -- sampled measurements ----------------------------------------------
     def sample_rssi(
@@ -106,6 +223,43 @@ class PropagationModel:
             rssi -= float(abs(rng.normal(p.body_occlusion, p.body_occlusion / 2)))
         return float(max(rssi, p.rssi_floor))
 
+    def sample_rssi_batch(
+        self,
+        tx: Point,
+        rx: Point,
+        rng: np.random.Generator,
+        blocked: Sequence[bool],
+    ) -> np.ndarray:
+        """``len(blocked)`` noisy measurements in one vectorized draw.
+
+        Equivalent, bit-for-bit, to calling :meth:`sample_rssi` once per
+        entry of ``blocked``: the scalar loop consumes the generator's
+        bitstream as ``noise_0, [body_0,] noise_1, [body_1,] ...`` and a
+        single ``standard_normal(size)`` call yields exactly that
+        sequence of variates, to which the same affine transforms are
+        applied (``Generator.normal(loc, scale)`` is
+        ``loc + scale * standard_normal()``).
+        """
+        p = self.params
+        mean = self.mean_rssi(tx, rx)
+        flags = np.asarray(blocked, dtype=bool)
+        n = int(flags.size)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        occluded = int(flags.sum())
+        z = rng.standard_normal(n + occluded)
+        # Draw i's noise variate sits after all earlier noise AND body
+        # draws; a blocked draw's body variate immediately follows it.
+        before = np.cumsum(flags) - flags
+        noise_index = np.arange(n) + before
+        rssi = mean + (0.0 + p.sample_noise_sigma * z[noise_index])
+        if occluded:
+            body = np.abs(
+                p.body_occlusion + (p.body_occlusion / 2) * z[noise_index[flags] + 1]
+            )
+            rssi[flags] = rssi[flags] - body
+        return np.maximum(rssi, p.rssi_floor)
+
     def average_rssi(
         self,
         tx: Point,
@@ -114,7 +268,7 @@ class PropagationModel:
         samples: int = 16,
         body_blocked_fraction: float = 0.25,
     ) -> float:
-        """Average of ``samples`` measurements.
+        """Average of ``samples`` measurements (scalar reference).
 
         Mirrors the paper's measurement procedure: 4 readings in each of
         4 body orientations per location, roughly a quarter of which
@@ -127,3 +281,71 @@ class PropagationModel:
             blocked = (index / samples) < body_blocked_fraction
             readings.append(self.sample_rssi(tx, rx, rng, body_blocked=blocked))
         return float(np.mean(readings))
+
+    def average_rssi_batch(
+        self,
+        tx: Point,
+        rx: Point,
+        rng: np.random.Generator,
+        samples: int = 16,
+        body_blocked_fraction: float = 0.25,
+    ) -> float:
+        """Batched :meth:`average_rssi`: same value, one noise draw."""
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples!r}")
+        blocked = [
+            (index / samples) < body_blocked_fraction for index in range(samples)
+        ]
+        readings = self.sample_rssi_batch(tx, rx, rng, blocked)
+        return float(np.mean(readings))
+
+    def average_rssi_grid(
+        self,
+        tx: Point,
+        points: Sequence[Point],
+        rng: np.random.Generator,
+        samples: int = 16,
+        body_blocked_fraction: float = 0.25,
+    ) -> np.ndarray:
+        """Measurement-averaged RSSI for a whole grid in one shot.
+
+        Bit-identical to ``[average_rssi(tx, rx, rng, ...) for rx in
+        points]``: each location consumes a fixed ``samples +
+        blocked_count`` stretch of the generator's bitstream, so one
+        ``standard_normal`` draw reshaped to (points, draws) replays the
+        per-location loop exactly; means come from the vectorized
+        :meth:`mean_rssi_many` and the per-location average reduces the
+        same 16 values with the same pairwise summation.
+        """
+        if samples < 1:
+            raise ValueError(f"samples must be >= 1, got {samples!r}")
+        count = len(points)
+        if count == 0:
+            return np.empty(0, dtype=np.float64)
+        p = self.params
+        means = self.mean_rssi_many(tx, points)
+        flags = np.array(
+            [(index / samples) < body_blocked_fraction for index in range(samples)],
+            dtype=bool,
+        )
+        occluded = int(flags.sum())
+        draws_per_point = samples + occluded
+        z = rng.standard_normal(count * draws_per_point).reshape(count, draws_per_point)
+        before = np.cumsum(flags) - flags
+        noise_index = np.arange(samples) + before
+        # Advanced indexing on axis 1 yields a transposed-layout array;
+        # force C order so the per-row mean reduces contiguously with
+        # numpy's pairwise summation, exactly like ``np.mean`` over the
+        # scalar loop's 16-reading list (a strided reduce falls back to
+        # naive summation and drifts by 1 ulp).
+        rssi = np.ascontiguousarray(
+            means[:, None] + (0.0 + p.sample_noise_sigma * z[:, noise_index])
+        )
+        if occluded:
+            body = np.abs(
+                p.body_occlusion
+                + (p.body_occlusion / 2) * z[:, noise_index[flags] + 1]
+            )
+            rssi[:, flags] = rssi[:, flags] - body
+        np.maximum(rssi, p.rssi_floor, out=rssi)
+        return rssi.mean(axis=1)

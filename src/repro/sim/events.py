@@ -4,13 +4,19 @@ Events are ordered by ``(time, sequence)`` where ``sequence`` is a
 monotonically increasing tie-breaker, so two events scheduled for the
 same instant fire in the order they were scheduled.  Cancellation is
 lazy: a cancelled event stays in the heap but is skipped when popped.
+
+The queue keeps an incremental count of live (scheduled, uncancelled)
+events, so ``len(queue)`` — and therefore
+:attr:`repro.sim.simulator.Simulator.pending_events` — is O(1) instead
+of a scan of the whole heap.  :class:`Event` uses ``__slots__`` and a
+bare ``(time, sequence)`` comparison, which keeps heap pushes and pops
+cheap on the dispatch hot path.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -18,19 +24,38 @@ from repro.errors import SimulationError
 Callback = Callable[..., None]
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Sorting uses only ``time`` and ``sequence``; the payload fields are
-    excluded from comparison.
+    Ordering uses only ``time`` and ``sequence``; the payload fields
+    never participate in comparisons.
     """
 
-    time: float
-    sequence: int
-    callback: Callback = field(compare=False)
-    args: Tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "_in_queue")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callback,
+        args: Tuple[Any, ...] = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self._in_queue = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.sequence < other.sequence
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(time={self.time!r}, sequence={self.sequence}, {state})"
 
     def fire(self) -> None:
         """Run the callback unless the event was cancelled."""
@@ -41,10 +66,11 @@ class Event:
 class EventHandle:
     """Opaque handle returned by scheduling calls; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_queue")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, queue: Optional["EventQueue"] = None) -> None:
         self._event = event
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -58,26 +84,34 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled(event)
 
 
 class EventQueue:
-    """A heap of pending :class:`Event` objects."""
+    """A heap of pending :class:`Event` objects with an O(1) live count."""
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def push(self, time: float, callback: Callback, args: Tuple[Any, ...] = ()) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
         if not callable(callback):
             raise SimulationError(f"event callback must be callable, got {callback!r}")
         event = Event(time=float(time), sequence=next(self._counter), callback=callback, args=args)
+        event._in_queue = True
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
@@ -91,8 +125,20 @@ class EventQueue:
         self._drop_cancelled_head()
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)
+        event._in_queue = False
+        self._live -= 1
+        return event
+
+    def _note_cancelled(self, event: Event) -> None:
+        """Keep the live count exact when a queued event is cancelled.
+
+        Cancelling an event that already fired (or was popped) must not
+        decrement: it was accounted for when it left the heap.
+        """
+        if event._in_queue:
+            self._live -= 1
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            heapq.heappop(self._heap)._in_queue = False
