@@ -2,6 +2,9 @@
 # Refresh the committed benchmark artifacts.
 #
 #   benchmarks/run_benches.sh          # RSSI kernel bench -> BENCH_rssi.json
+#   benchmarks/run_benches.sh --smoke  # same bench at minimal wall time:
+#                                      # exercises the whole path (CI's
+#                                      # bench job), numbers not citable
 #   benchmarks/run_benches.sh --all    # also re-run the full pytest bench
 #                                      # suite (regenerates every table and
 #                                      # figure artifact under results/)
@@ -14,6 +17,12 @@ set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH=src
 export PYTHONPATH
+
+if [ "${1:-}" = "--smoke" ]; then
+    python -m repro bench-rssi --seed 7 --seconds 0.05 \
+        --output benchmarks/results/BENCH_rssi.json
+    exit 0
+fi
 
 python -m repro bench-rssi --seed 7 --output benchmarks/results/BENCH_rssi.json
 

@@ -7,6 +7,7 @@ Commands
 ``fig``         — one of 3 | 4 | 6 | 7 | 8 | 9 | 10
 ``campaign``    — the multi-home media campaign experiment
 ``endurance``   — the hold-endurance sweep
+``resilience``  — fault rate x retry policy sweep (availability under faults)
 ``bench-rssi``  — microbenchmark the RSSI kernel, write BENCH_rssi.json
 ``demo``        — the quickstart scenario, narrated
 """
@@ -106,6 +107,21 @@ def _cmd_endurance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import TESTBEDS, run_resilience
+
+    testbeds = TESTBEDS if args.testbed == "all" else (args.testbed,)
+    result = run_resilience(seed=args.seed, scale=args.scale, testbeds=testbeds,
+                            workers=args.workers, use_cache=not args.no_cache)
+    print(result.render())
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(result.render() + "\n", encoding="utf-8")
+        print(f"(written to {args.output})")
+    return 0
+
+
 def _cmd_bench_rssi(args: argparse.Namespace) -> int:
     from repro.experiments.bench_rssi import render_bench, run_bench_rssi, write_bench
 
@@ -175,6 +191,16 @@ def build_parser() -> argparse.ArgumentParser:
     endurance = sub.add_parser("endurance", parents=[common, parallel],
                                help="hold-endurance sweep")
     endurance.set_defaults(func=_cmd_endurance)
+
+    resilience = sub.add_parser("resilience", parents=[common, parallel],
+                                help="fault-injection sweep: availability & "
+                                     "accuracy under push/scan/report faults")
+    resilience.add_argument("--scale", type=float, default=0.25)
+    resilience.add_argument("--testbed",
+                            choices=["all", "house", "apartment", "office"],
+                            default="all")
+    resilience.add_argument("--output", default=None)
+    resilience.set_defaults(func=_cmd_resilience)
 
     bench = sub.add_parser("bench-rssi", parents=[common],
                            help="microbenchmark the RSSI kernel + event queue")

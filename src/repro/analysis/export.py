@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 import pathlib
-from typing import Iterable, List, Sequence, Union
+from typing import Iterable, Sequence, Union
 
 PathLike = Union[str, pathlib.Path]
 

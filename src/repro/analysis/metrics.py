@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 
 class BinaryLabel(enum.Enum):
@@ -105,3 +106,95 @@ class ConfusionMatrix:
             f"Accuracy: {self.accuracy:.2%}  Precision: {self.precision:.2%}  Recall: {self.recall:.2%}",
         ]
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Availability under faults (the resilience experiments)
+# ---------------------------------------------------------------------------
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile by linear interpolation; NaN when empty.
+
+    Deliberately dependency-free (no numpy import in the scoring path)
+    and deterministic: sorted linear interpolation, the same convention
+    numpy calls ``linear``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    data = sorted(float(v) for v in values)
+    if not data:
+        return float("nan")
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    fraction = rank - low
+    return data[low] * (1.0 - fraction) + data[high] * fraction
+
+
+@dataclass
+class ResilienceSummary:
+    """How the decision pipeline held up across one run's command queries.
+
+    *Availability* is the fraction of command decisions that resolved
+    with live or degraded evidence — anything but a bare TIMEOUT verdict
+    falling through to the fail-open/fail-closed policy.
+    """
+
+    decisions: int = 0
+    live_grants: int = 0  # LEGITIMATE from a live report
+    degraded_grants: int = 0  # LEGITIMATE from the proximity cache
+    malicious_verdicts: int = 0
+    timeouts: int = 0  # TIMEOUT verdicts (policy decided the outcome)
+    retries: int = 0  # backoff re-pushes
+    offline_requeries: int = 0  # next-best re-queries after a NACK
+    offline_events: int = 0  # push NACKs (device unreachable)
+    latency_p50: float = float("nan")
+    latency_p95: float = float("nan")
+
+    @property
+    def availability(self) -> float:
+        """Evidence-backed decisions / all decisions (NaN when none)."""
+        if self.decisions == 0:
+            return float("nan")
+        return (self.decisions - self.timeouts) / self.decisions
+
+
+def summarize_resilience(
+    command_events: Sequence[object],
+    resilience_counts: Optional[Dict[str, int]] = None,
+) -> ResilienceSummary:
+    """Fold a guard's command events (and optional typed-event counts,
+    from :meth:`repro.core.events.GuardLog.resilience_counts`) into one
+    :class:`ResilienceSummary`."""
+    from repro.core.decision import Verdict
+
+    counts = resilience_counts or {}
+    summary = ResilienceSummary(
+        retries=counts.get("push_retry", 0) + counts.get("offline_requery", 0),
+        offline_requeries=counts.get("offline_requery", 0),
+        offline_events=counts.get("device_offline", 0),
+        degraded_grants=counts.get("degraded_grant", 0),
+    )
+    latencies: List[float] = []
+    for event in command_events:
+        verdict = getattr(event, "verdict", None)
+        if verdict is None:
+            continue
+        summary.decisions += 1
+        if verdict is Verdict.TIMEOUT:
+            summary.timeouts += 1
+        elif verdict is Verdict.MALICIOUS:
+            summary.malicious_verdicts += 1
+        elif verdict is Verdict.LEGITIMATE:
+            summary.live_grants += 1
+        latency = getattr(event, "decision_latency", None)
+        if latency is not None:
+            latencies.append(latency)
+    # Degraded grants surface as LEGITIMATE verdicts; keep live vs
+    # degraded apart so availability gains are attributable.
+    summary.live_grants = max(0, summary.live_grants - summary.degraded_grants)
+    summary.latency_p50 = percentile(latencies, 50.0)
+    summary.latency_p95 = percentile(latencies, 95.0)
+    return summary

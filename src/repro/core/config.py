@@ -28,6 +28,13 @@ class VoiceGuardConfig:
     fail_open: bool = False  # on timeout: True = release, False = drop
     rssi_margin: float = 0.0  # extra slack subtracted from thresholds
 
+    # Decision resilience (all off by default: one push per device and a
+    # flat timeout, the paper's original behaviour).
+    push_retries: int = 0  # extra push attempts per silent device
+    retry_base: float = 1.5  # first backoff delay; doubles per attempt...
+    retry_cap: float = 6.0  # ...but never exceeds this
+    proximity_cache_ttl: float = 0.0  # degraded mode: trust proximity this recent (0 = off)
+
     # Floor tracking.
     floor_tracking: bool = True  # only effective on multi-floor testbeds
 
@@ -43,5 +50,15 @@ class VoiceGuardConfig:
             raise ConfigError("classification needs at least 2 packets")
         if self.decision_timeout <= 0:
             raise ConfigError("decision_timeout must be positive")
+        if self.push_retries < 0:
+            raise ConfigError(f"push_retries must be >= 0, got {self.push_retries!r}")
+        if self.retry_base <= 0:
+            raise ConfigError(f"retry_base must be positive, got {self.retry_base!r}")
+        if self.retry_cap < self.retry_base:
+            raise ConfigError("retry_cap must be at least retry_base")
+        if self.proximity_cache_ttl < 0:
+            raise ConfigError(
+                f"proximity_cache_ttl must be >= 0, got {self.proximity_cache_ttl!r}"
+            )
         if self.max_hold < self.decision_timeout:
             raise ConfigError("max_hold must be at least decision_timeout")

@@ -6,15 +6,46 @@ command" (Section IV-C); its current method is Bluetooth-RSSI
 proximity.  :class:`DecisionMethod` is the plug-in interface;
 :class:`RssiDecisionMethod` implements the paper's method including the
 multi-user OR-rule and the floor-level veto.
+
+Resilience: the paper's chain (push -> app wake -> BLE scan -> report)
+can drop at every hop, so the method optionally layers three recoveries
+on top of the single-shot protocol — all disabled by default, leaving
+the original one-push-per-device, flat-timeout behaviour untouched:
+
+* **Retry with backoff** (``push_retries`` > 0): a device that stays
+  silent is re-pushed on an exponential backoff schedule (``retry_base``
+  doubling up to ``retry_cap``, jittered when an RNG is wired in).
+* **Offline re-query**: when the messaging cloud NACKs a push (device
+  unreachable), the next-best still-silent device is re-queried
+  immediately instead of waiting out its backoff timer; once every
+  registered device is known unreachable the query resolves at once
+  rather than burning the full timeout.
+* **Degraded mode** (``proximity_cache_ttl`` > 0): every report the
+  guard ever receives refreshes a last-known-proximity cache; when live
+  evidence cannot be obtained, a fresh positive entry (floor-checked at
+  grant time) stands in for it.  Only *missing* evidence is backfilled —
+  a live below-threshold report is never overridden.
+
+Every recovery action is recorded as a typed
+:class:`~repro.core.resilience.ResilienceEvent` so experiments can
+report availability and accuracy under injected faults.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
 
 from repro.core.registry import DeviceRegistry, RegisteredDevice
+from repro.core.resilience import (
+    ProximityCache,
+    ResilienceEvent,
+    ResilienceEventType,
+    ResilienceRecorder,
+)
 from repro.home.push import PushService, RssiReport
 from repro.radio.bluetooth import BluetoothBeacon
 from repro.sim.simulator import Simulator
@@ -45,6 +76,9 @@ class DecisionResult:
     reports: List[RssiReport] = field(default_factory=list)
     satisfied_by: Optional[str] = None  # device that proved proximity
     floor_vetoed: List[str] = field(default_factory=list)
+    degraded: bool = False  # granted from the proximity cache, not a live report
+    retries: int = 0  # extra pushes sent for this query
+    offline_devices: List[str] = field(default_factory=list)
 
     @property
     def legitimate(self) -> bool:
@@ -72,7 +106,8 @@ class RssiDecisionMethod(DecisionMethod):
     device reports RSSI above its threshold *and* passes the floor
     check.  If every device has answered below threshold the command is
     malicious; if nothing answers before the timeout, the verdict is
-    TIMEOUT (policy decides what that means).
+    TIMEOUT (policy decides what that means).  See the module docstring
+    for the optional retry/offline/degraded recoveries.
     """
 
     def __init__(
@@ -84,6 +119,12 @@ class RssiDecisionMethod(DecisionMethod):
         timeout: float = 5.0,
         rssi_margin: float = 0.0,
         floor_check: Optional[FloorCheck] = None,
+        push_retries: int = 0,
+        retry_base: float = 1.5,
+        retry_cap: float = 6.0,
+        proximity_cache_ttl: float = 0.0,
+        retry_rng: Optional[np.random.Generator] = None,
+        on_event: Optional[ResilienceRecorder] = None,
     ) -> None:
         self.sim = sim
         self.push = push
@@ -92,7 +133,17 @@ class RssiDecisionMethod(DecisionMethod):
         self.timeout = timeout
         self.rssi_margin = rssi_margin
         self.floor_check = floor_check
+        self.push_retries = push_retries
+        self.retry_base = retry_base
+        self.retry_cap = retry_cap
+        self.retry_rng = retry_rng
+        self.on_event = on_event
+        self.proximity_cache = ProximityCache(ttl=proximity_cache_ttl)
         self.queries_issued = 0
+        self.retries_sent = 0
+        self.degraded_grants = 0
+        self.offline_seen = 0
+        self.events: List[ResilienceEvent] = []
 
     def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
         """Query all registered devices; legitimate on the first satisfying report."""
@@ -104,49 +155,174 @@ class RssiDecisionMethod(DecisionMethod):
             return
         self.queries_issued += 1
         state = _QueryState(expected=len(entries))
+        max_attempts = 1 + self.push_retries
+
+        def build_result(verdict: Verdict, satisfied_by: Optional[str] = None,
+                         degraded: bool = False) -> DecisionResult:
+            return DecisionResult(
+                verdict=verdict,
+                reports=list(state.reports),
+                satisfied_by=satisfied_by,
+                floor_vetoed=list(state.floor_vetoed),
+                degraded=degraded,
+                retries=state.retries,
+                offline_devices=sorted(state.offline),
+            )
 
         def finish(result: DecisionResult) -> None:
             if state.done:
                 return
             state.done = True
             state.deadline.cancel()
+            for handle in state.retry_timers.values():
+                handle.cancel()
+            state.retry_timers.clear()
             callback(result)
 
-        def on_report(report: RssiReport) -> None:
+        def cache_eligible(name: str) -> bool:
+            # Live evidence always wins: a device that answered (below
+            # threshold, or we would have finished) cannot vouch from
+            # the cache.  The floor veto applies at grant time.
+            if name in state.answered:
+                return False
+            if self.floor_check is not None and not self.floor_check(name):
+                return False
+            return True
+
+        def resolve_without_proof(timed_out: bool) -> None:
+            """Deadline hit, or every silent device is known unreachable."""
             if state.done:
                 return
-            state.reports.append(report)
-            entry = self._entry_for(report.device_name)
-            if entry is not None and self._satisfies(entry, report, state):
-                finish(DecisionResult(
-                    verdict=Verdict.LEGITIMATE,
-                    reports=list(state.reports),
-                    satisfied_by=report.device_name,
-                    floor_vetoed=list(state.floor_vetoed),
-                ))
-                return
-            if len(state.reports) >= state.expected:
-                finish(DecisionResult(
-                    verdict=Verdict.MALICIOUS,
-                    reports=list(state.reports),
-                    floor_vetoed=list(state.floor_vetoed),
-                ))
-
-        def on_timeout() -> None:
+            if timed_out:
+                self._record(state, ResilienceEventType.DECISION_TIMEOUT, context)
+            if self.proximity_cache.enabled:
+                proof = self.proximity_cache.fresh_proof(self.sim.now, cache_eligible)
+                if proof is not None:
+                    self.degraded_grants += 1
+                    self._record(state, ResilienceEventType.DEGRADED_GRANT,
+                                 context, device=proof)
+                    finish(build_result(Verdict.LEGITIMATE, satisfied_by=proof,
+                                        degraded=True))
+                    return
+                self._record(state, ResilienceEventType.DEGRADED_MISS, context)
             verdict = Verdict.TIMEOUT if not state.reports else Verdict.MALICIOUS
-            finish(DecisionResult(
-                verdict=verdict,
-                reports=list(state.reports),
-                floor_vetoed=list(state.floor_vetoed),
-            ))
+            finish(build_result(verdict))
 
-        state.deadline = self.sim.schedule(self.timeout, on_timeout)
-        self.push.request_group([e.device for e in entries], self.beacon, on_report)
+        def check_unreachable() -> None:
+            # Early exit: nobody left who could still answer.
+            silent = state.names - state.answered
+            if silent and silent <= state.offline:
+                resolve_without_proof(timed_out=False)
+
+        def on_report(report: RssiReport) -> None:
+            name = report.device_name
+            entry = self._entry_for(name)
+            if entry is not None:
+                # Even late or duplicate reports refresh the cache: they
+                # are the freshest proximity evidence the guard has.
+                self.proximity_cache.update(
+                    name, report.reported_at,
+                    report.sample.rssi >= entry.threshold - self.rssi_margin,
+                )
+            if state.done or name in state.answered:
+                return
+            state.answered.add(name)
+            timer = state.retry_timers.pop(name, None)
+            if timer is not None:
+                timer.cancel()
+            state.reports.append(report)
+            if entry is not None and self._satisfies(entry, report, state):
+                finish(build_result(Verdict.LEGITIMATE, satisfied_by=name))
+                return
+            if len(state.answered) >= state.expected:
+                finish(build_result(Verdict.MALICIOUS))
+                return
+            check_unreachable()
+
+        def on_undeliverable(device) -> None:
+            if state.done:
+                return
+            name = device.name
+            if name in state.answered or name in state.offline:
+                return
+            state.offline.add(name)
+            self.offline_seen += 1
+            self._record(state, ResilienceEventType.DEVICE_OFFLINE, context,
+                         device=name, attempt=state.attempts.get(name, 0))
+            timer = state.retry_timers.pop(name, None)
+            if timer is not None:
+                timer.cancel()
+            candidate = self._next_best(state)
+            if candidate is not None and state.attempts.get(candidate, 0) < max_attempts:
+                self._record(state, ResilienceEventType.OFFLINE_REQUERY, context,
+                             device=candidate,
+                             attempt=state.attempts.get(candidate, 0) + 1)
+                send(self.registry.get(candidate))
+            check_unreachable()
+
+        def on_retry_timer(name: str) -> None:
+            state.retry_timers.pop(name, None)
+            if state.done or name in state.answered or name in state.offline:
+                return
+            entry = self._entry_for(name)
+            if entry is None:
+                return  # unregistered mid-query
+            self._record(state, ResilienceEventType.PUSH_RETRY, context,
+                         device=name, attempt=state.attempts.get(name, 0) + 1)
+            send(entry)
+
+        def send(entry: RegisteredDevice) -> None:
+            name = entry.name
+            attempt = state.attempts.get(name, 0) + 1
+            state.attempts[name] = attempt
+            if attempt > 1:
+                state.retries += 1
+                self.retries_sent += 1
+            old = state.retry_timers.pop(name, None)
+            if old is not None:
+                old.cancel()
+            if attempt < max_attempts:
+                delay = min(self.retry_cap, self.retry_base * (2 ** (attempt - 1)))
+                if self.retry_rng is not None:
+                    # Decorrelate retry bursts across devices; the draw
+                    # comes from a dedicated stream so enabling retries
+                    # perturbs no other component's randomness.
+                    delay *= 0.9 + 0.2 * float(self.retry_rng.random())
+                state.retry_timers[name] = self.sim.schedule(delay, on_retry_timer, name)
+            self.push.request_rssi(entry.device, self.beacon, on_report,
+                                   on_undeliverable=on_undeliverable)
+
+        state.deadline = self.sim.schedule(self.timeout, resolve_without_proof, True)
+        state.names = {entry.name for entry in entries}
+        for entry in entries:
+            send(entry)
 
     def _entry_for(self, device_name: str) -> Optional[RegisteredDevice]:
         if device_name in self.registry:
             return self.registry.get(device_name)
         return None
+
+    def _next_best(self, state: "_QueryState") -> Optional[str]:
+        """The most promising still-silent, reachable device.
+
+        Rank by the proximity cache: a device that recently proved
+        proximity is the best bet to prove it again; unknown-to-the-cache
+        devices keep their registration order.
+        """
+        best_name: Optional[str] = None
+        best_rank = (-1.0, -float("inf"))
+        for position, entry in enumerate(self.registry.entries()):
+            name = entry.name
+            if name in state.answered or name in state.offline:
+                continue
+            cached = self.proximity_cache.entry(name)
+            if cached is not None and cached[1]:
+                rank = (1.0, cached[0])
+            else:
+                rank = (0.0, -float(position))
+            if rank > best_rank:
+                best_name, best_rank = name, rank
+        return best_name
 
     def _satisfies(self, entry: RegisteredDevice, report: RssiReport, state: "_QueryState") -> bool:
         if report.sample.rssi < entry.threshold - self.rssi_margin:
@@ -158,16 +334,43 @@ class RssiDecisionMethod(DecisionMethod):
             return False
         return True
 
+    def _record(
+        self,
+        state: "_QueryState",
+        type_: ResilienceEventType,
+        context: DecisionContext,
+        device: str = "",
+        attempt: int = 0,
+    ) -> None:
+        event = ResilienceEvent(
+            type=type_,
+            time=self.sim.now,
+            window_id=context.window_id,
+            device_name=device,
+            attempt=attempt,
+        )
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+
 
 class _QueryState:
-    __slots__ = ("expected", "reports", "floor_vetoed", "done", "deadline")
+    __slots__ = ("expected", "names", "reports", "floor_vetoed", "done",
+                 "deadline", "answered", "offline", "attempts", "retry_timers",
+                 "retries")
 
     def __init__(self, expected: int) -> None:
         self.expected = expected
+        self.names: set = set()
         self.reports: List[RssiReport] = []
         self.floor_vetoed: List[str] = []
         self.done = False
         self.deadline = None
+        self.answered: set = set()
+        self.offline: set = set()
+        self.attempts: Dict[str, int] = {}
+        self.retry_timers: Dict[str, object] = {}
+        self.retries = 0
 
 
 class DecisionModule:

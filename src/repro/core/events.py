@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.decision import Verdict
+from repro.core.resilience import ResilienceEvent, count_events
 
 
 class TrafficClass(enum.Enum):
@@ -62,11 +63,21 @@ class GuardLog:
 
     def __init__(self) -> None:
         self.events: List[CommandEvent] = []
+        self.resilience: List[ResilienceEvent] = []
 
     def add(self, event: CommandEvent) -> CommandEvent:
         """Append an event and return it."""
         self.events.append(event)
         return event
+
+    def record_resilience(self, event: ResilienceEvent) -> ResilienceEvent:
+        """Append one typed resilience event (retry/offline/degraded)."""
+        self.resilience.append(event)
+        return event
+
+    def resilience_counts(self) -> dict:
+        """Per-type counts of the resilience trail."""
+        return count_events(self.resilience)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -13,7 +13,7 @@ the speaker's floor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +21,7 @@ import numpy as np
 from repro.analysis.regression import LinearFit
 from repro.analysis.traces import RssiTrace
 from repro.errors import ConfigError
+from repro.faults.plan import FaultInjector
 from repro.home.devices import MobileDevice
 from repro.radio.bluetooth import BluetoothBeacon
 from repro.sim.simulator import Simulator
@@ -151,6 +152,7 @@ class FloorLevelTracker:
         classifier: TraceClassifier,
         speaker_floor: int,
         floor_count: int,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         if floor_count < 1:
             raise ConfigError(f"floor_count must be >= 1, got {floor_count!r}")
@@ -159,10 +161,12 @@ class FloorLevelTracker:
         self.classifier = classifier
         self.speaker_floor = speaker_floor
         self.floor_count = floor_count
+        self.faults = faults
         self._devices: Dict[str, MobileDevice] = {}
         self._floors: Dict[str, int] = {}
         self._recording: Dict[str, bool] = {}
         self.trace_events: List[TraceEvent] = []
+        self.traces_dropped = 0
 
     def track(self, device: MobileDevice, initial_floor: Optional[int] = None) -> None:
         """Start tracking ``device``; default assumption: speaker floor."""
@@ -188,6 +192,11 @@ class FloorLevelTracker:
         """Stairway motion: record a trace on every tracked device."""
         for name, device in self._devices.items():
             if self._recording.get(name):
+                continue
+            if self.faults is not None and self.faults.trace_dropped(name):
+                # The app missed its wake window (Doze, BLE radio busy):
+                # this device's floor estimate silently goes stale.
+                self.traces_dropped += 1
                 continue
             self._recording[name] = True
             device.record_trace(self.beacon, lambda samples, n=name: self._on_trace(n, samples))

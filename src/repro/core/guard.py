@@ -52,6 +52,8 @@ class VoiceGuard:
         self.floor_tracker: Optional[FloorLevelTracker] = None
 
         self.recognition = TrafficRecognition(env.sim, self.config, self.log)
+        # The retry jitter draws from its own named stream: enabling
+        # retries never perturbs any other component's randomness.
         self.rssi_method = RssiDecisionMethod(
             sim=env.sim,
             push=env.push,
@@ -60,6 +62,12 @@ class VoiceGuard:
             timeout=self.config.decision_timeout,
             rssi_margin=self.config.rssi_margin,
             floor_check=self._floor_ok,
+            push_retries=self.config.push_retries,
+            retry_base=self.config.retry_base,
+            retry_cap=self.config.retry_cap,
+            proximity_cache_ttl=self.config.proximity_cache_ttl,
+            retry_rng=env.rng.stream("decision.retry"),
+            on_event=self.log.record_resilience,
         )
         self.decision = DecisionModule(self.rssi_method)
         self.handler = TrafficHandler(
@@ -124,6 +132,7 @@ class VoiceGuard:
             classifier=classifier,
             speaker_floor=self.env.speaker_floor,
             floor_count=self.env.testbed.plan.floor_count,
+            faults=self.env.faults,
         )
         for entry in self.registry.entries():
             floor = (initial_floors or {}).get(entry.name)

@@ -25,7 +25,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.config import VoiceGuardConfig
 from repro.core.events import CommandEvent, GuardLog, TrafficClass

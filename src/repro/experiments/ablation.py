@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -30,7 +30,7 @@ from repro.baselines.firewall import FirewallTap
 from repro.core.decision import DecisionContext, RssiDecisionMethod
 from repro.core.registry import DeviceRegistry
 from repro.experiments.parallel import ExperimentEngine, ExperimentTask
-from repro.experiments.runner import run_rssi_experiment, score_interactions
+from repro.experiments.runner import run_rssi_experiment
 from repro.experiments.scenarios import Scenario, build_scenario
 from repro.net.addresses import IPv4Address
 

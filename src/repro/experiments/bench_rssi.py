@@ -182,7 +182,10 @@ def run_bench_rssi(
     # Event queue: dispatch throughput and the O(1) pending count.
     def _dispatch() -> int:
         queue = EventQueue()
-        sink = (lambda: None)
+
+        def sink() -> None:
+            return None
+
         for i in range(2000):
             queue.push(float(i % 97), sink)
         while queue.pop() is not None:

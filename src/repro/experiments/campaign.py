@@ -12,7 +12,7 @@ across the fleet — alongside the rate in unprotected homes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.analysis.reporting import render_table
 from repro.attacks.remote import CompromisedPlaybackAttack

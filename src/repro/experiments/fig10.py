@@ -9,7 +9,7 @@ y-intercept jointly separate Routes 2/3 from Up/Down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 import numpy as np

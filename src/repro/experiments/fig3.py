@@ -102,7 +102,6 @@ def run_fig3(seed: int = 5) -> Fig3Result:
     owner = scenario.owners[0]
     owner.teleport(env.testbed.device_point(5).offset(dz=-1.0))
 
-    avs_ip = scenario.guard.recognition.speaker_state(speaker.ip).avs_ip
     capture = PacketCapture()
 
     def keep(packet: Packet) -> bool:

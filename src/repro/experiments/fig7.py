@@ -70,12 +70,6 @@ def run_fig7(speaker_kind: str = "echo", invocations: int = 100, seed: int = 4) 
     owner = scenario.owners[0]
     owner.teleport(env.testbed.device_point(5).offset(dz=-1.0))
     rng = env.rng.stream("fig7.workload")
-    sessions_closed_before = (
-        scenario.avs_cloud.stats.sessions_closed
-        if scenario.avs_cloud is not None
-        else 0
-    )
-
     for _ in range(invocations):
         command = scenario.corpus.sample(rng)
         duration = full_utterance_duration(command, rng)

@@ -17,11 +17,7 @@ from typing import Dict, List
 from repro.analysis.reporting import render_table
 from repro.core.threshold import ThresholdCalibrator
 from repro.home.environment import HomeEnvironment
-from repro.radio.testbeds import (
-    HOUSE_LEAK_POINT_NUMBERS,
-    Testbed,
-    testbed_by_name,
-)
+from repro.radio.testbeds import HOUSE_LEAK_POINT_NUMBERS, testbed_by_name
 
 SAMPLES_PER_LOCATION = 16  # 4 orientations x 4 measurements
 

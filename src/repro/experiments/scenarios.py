@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
 from repro.audio.commands import CommandCorpus, alexa_corpus, google_corpus
 from repro.core.config import VoiceGuardConfig
 from repro.core.floor import TraceClassifier, TraceFeatures
@@ -23,6 +21,7 @@ from repro.core.guard import VoiceGuard
 from repro.core.recognition import SpeakerProfile
 from repro.core.threshold import CalibrationResult, ThresholdCalibrator
 from repro.errors import WorkloadError
+from repro.faults.plan import FaultPlan
 from repro.home.devices import MobileDevice, MotionSensor
 from repro.home.environment import HomeEnvironment
 from repro.home.person import Person
@@ -99,17 +98,21 @@ def build_scenario(
     with_floor_tracking: Optional[bool] = None,
     misc_domains: int = 2,
     with_guard: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Scenario:
     """Build a fully wired scenario.
 
     Defaults mirror the paper's 7-day experiments: scripted everyday
     commands (near-zero anomalous traffic), calibrated thresholds, and
-    floor tracking wherever the testbed has stairs.
+    floor tracking wherever the testbed has stairs.  ``fault_plan``
+    arms the environment's fault injector (see :mod:`repro.faults`);
+    without one, every injection hook is a no-op.
     """
     if speaker_kind not in ("echo", "google"):
         raise WorkloadError(f"unknown speaker kind {speaker_kind!r}")
     testbed = testbed_by_name(testbed_name)
-    env = HomeEnvironment(testbed, deployment=deployment, seed=seed)
+    env = HomeEnvironment(testbed, deployment=deployment, seed=seed,
+                          fault_plan=fault_plan)
     network = Network(env.sim, env.rng)
 
     dns_server = DnsServer("router-dns", IPv4Address(DNS_IP))

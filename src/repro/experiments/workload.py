@@ -16,9 +16,7 @@ between them, so the default inter-episode gap is about a minute.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
-
-import numpy as np
+from typing import List
 
 from repro.attacks.replay import ReplayAttack
 from repro.audio.speech import full_utterance_duration

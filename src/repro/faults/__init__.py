@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the push/scan/report chain.
+
+See :mod:`repro.faults.plan` for the model; :class:`FaultPlan` is the
+declarative description, :class:`FaultInjector` the runtime oracle the
+substrate components consult.  Everything is a no-op unless a plan is
+active, so fault-free runs are bit-for-bit unchanged.
+"""
+
+from repro.faults.plan import (
+    ANY_DEVICE,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    OfflineWindow,
+    offline_outage,
+)
+
+__all__ = [
+    "ANY_DEVICE",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "OfflineWindow",
+    "offline_outage",
+]

@@ -13,6 +13,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.faults.plan import FaultInjector
 from repro.home.person import Person
 from repro.radio.bluetooth import BluetoothBeacon, BluetoothScanner, RssiSample
 from repro.radio.propagation import PropagationModel
@@ -36,6 +37,7 @@ class MobileDevice:
         model: PropagationModel,
         rng: np.random.Generator,
         interference_provider: Optional[Callable[[], bool]] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.name = name
         self.carrier = carrier
@@ -47,6 +49,7 @@ class MobileDevice:
             rng=rng,
             body_blocked_provider=carrier.body_blocks_radio,
             interference_provider=interference_provider,
+            faults=faults,
         )
         self._app_wake_rng = rng
         self.rssi_requests_served = 0
@@ -127,15 +130,18 @@ class MotionSensor:
         region: tuple,
         persons: List[Person],
         floor: Optional[int] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.name = name
         self.sim = sim
         self.region = region  # (x0, y0, x1, y1)
         self.persons = persons
         self.floor = floor
+        self.faults = faults
         self.on_motion: Optional[Callable[[float], None]] = None
         self._last_fired = -1e9
         self.event_count = 0
+        self.events_missed = 0
         self._task = PeriodicTask(sim, self.POLL_PERIOD, self._poll, first_delay=self.POLL_PERIOD)
 
     def start(self) -> None:
@@ -155,7 +161,12 @@ class MotionSensor:
         if now - self._last_fired < self.REFRACTORY:
             return
         if any(self._covers(person) for person in self.persons):
-            self._last_fired = now
+            self._last_fired = now  # the traversal is consumed either way
+            if self.faults is not None and self.faults.sensor_missed(self.name):
+                # PIR dropout: the sensor sleeps through this traversal,
+                # so the floor tracker never hears about it.
+                self.events_missed += 1
+                return
             self.event_count += 1
             if self.on_motion is not None:
                 self.on_motion(now)

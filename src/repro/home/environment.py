@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.audio.voiceprint import VoiceUtterance
 from repro.errors import RadioError
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.home.devices import MobileDevice, MotionSensor, Smartphone, Smartwatch
 from repro.home.person import Person
 from repro.home.push import PushService
@@ -45,6 +46,7 @@ class HomeEnvironment:
         deployment: int = 0,
         seed: int = 0,
         params: Optional[PropagationParams] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if not 0 <= deployment < len(testbed.speaker_locations):
             raise RadioError(
@@ -57,13 +59,19 @@ class HomeEnvironment:
         reset_packet_numbers()
         self.rng = RngHub(seed)
         self.sim = Simulator()
+        # None unless a plan is active: components treat a missing
+        # injector as "never inject", keeping fault-free runs pristine.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(self.sim, fault_plan) if fault_plan is not None else None
+        )
         self.model = PropagationModel(
             testbed.plan, params, seed=self.rng.stream("radio.seed").integers(0, 2**31)
         )
         self.speaker_beacon = BluetoothBeacon(
             f"{testbed.name}-speaker", testbed.speaker_point(deployment)
         )
-        self.push = PushService(self.sim, self.rng.stream("push.latency"))
+        self.push = PushService(self.sim, self.rng.stream("push.latency"),
+                                faults=self.faults)
         self.persons: Dict[str, Person] = {}
         self.devices: Dict[str, MobileDevice] = {}
         self.motion_sensor: Optional[MotionSensor] = None
@@ -91,14 +99,14 @@ class HomeEnvironment:
         """Create a phone carried by ``carrier``."""
         return self._add_device(Smartphone(
             name, carrier, self.sim, self.model, self.rng.stream(f"device.{name}"),
-            interference_provider=self.wifi_busy,
+            interference_provider=self.wifi_busy, faults=self.faults,
         ))
 
     def add_smartwatch(self, name: str, carrier: Person) -> Smartwatch:
         """Create a watch worn by ``carrier``."""
         return self._add_device(Smartwatch(
             name, carrier, self.sim, self.model, self.rng.stream(f"device.{name}"),
-            interference_provider=self.wifi_busy,
+            interference_provider=self.wifi_busy, faults=self.faults,
         ))
 
     def _add_device(self, device: MobileDevice) -> MobileDevice:
@@ -116,6 +124,7 @@ class HomeEnvironment:
             self.sim,
             self.testbed.stair_region,
             list(self.persons.values()),
+            faults=self.faults,
         )
         self.motion_sensor.start()
         return self.motion_sensor

@@ -7,6 +7,13 @@ itself and the device-side BLE scan; both are right-skewed.  The model
 here, combined with the scan model in :mod:`repro.radio.bluetooth`,
 reproduces the paper's Figure 7 distribution (Echo Dot average 1.622 s,
 78 % of queries under 2 s, rare stragglers just above 3 s).
+
+Fault injection: an active :class:`repro.faults.FaultInjector` can lose
+a push before delivery (silently — real FCM gives the sender no signal),
+stretch the cloud path, find the target device offline (the cloud *does*
+learn this, surfaced through ``on_undeliverable``), or drop the device's
+report on its way back to the guard.  Without a plan every hook is a
+no-op and the service behaves exactly as it always has.
 """
 
 from __future__ import annotations
@@ -16,10 +23,13 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.faults.plan import FaultInjector
 from repro.home.devices import MobileDevice
 from repro.radio.bluetooth import BluetoothBeacon, RssiSample
 from repro.sim.random import bounded_lognormal
 from repro.sim.simulator import Simulator
+
+UndeliverableCallback = Callable[[MobileDevice], None]
 
 
 @dataclass(frozen=True)
@@ -46,10 +56,19 @@ class PushService:
     DELIVERY_MAX = 3.5
     REPORT_LATENCY = 0.06  # device -> guard reply over LAN/WAN
 
-    def __init__(self, sim: Simulator, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self.sim = sim
         self._rng = rng
+        self.faults = faults
         self.pushes_sent = 0
+        self.pushes_lost = 0
+        self.pushes_undeliverable = 0
+        self.reports_dropped = 0
 
     def delivery_delay(self) -> float:
         """Draw one push-delivery latency."""
@@ -63,15 +82,32 @@ class PushService:
         device: MobileDevice,
         beacon: BluetoothBeacon,
         callback: Callable[[RssiReport], None],
-    ) -> None:
+        on_undeliverable: Optional[UndeliverableCallback] = None,
+    ) -> bool:
         """Push an RSSI request to ``device``; asynchronous reply.
 
         Timeline: push delivery -> app wake -> BLE scan -> report.
+        Returns whether the push actually entered the delivery pipeline;
+        ``pushes_sent`` counts only pushes whose delivery event was
+        scheduled, so injected pre-delivery losses never inflate it.
+        An offline device surfaces as ``on_undeliverable(device)`` at
+        delivery time — the messaging cloud's NACK back to the sender.
         """
         requested_at = self.sim.now
-        self.pushes_sent += 1
+        faults = self.faults
+        if faults is not None and faults.push_dropped(device.name):
+            # Lost inside the messaging cloud: the sender learns nothing.
+            self.pushes_lost += 1
+            return False
+        delay = self.delivery_delay()
+        if faults is not None:
+            delay += faults.push_extra_delay(device.name)
 
         def on_sample(sample: RssiSample) -> None:
+            if faults is not None and faults.report_dropped(device.name):
+                self.reports_dropped += 1
+                return
+
             def deliver_report() -> None:
                 callback(
                     RssiReport(
@@ -85,17 +121,26 @@ class PushService:
             self.sim.schedule(self.REPORT_LATENCY, deliver_report)
 
         def on_delivered() -> None:
+            if faults is not None and faults.device_offline(device.name):
+                self.pushes_undeliverable += 1
+                if on_undeliverable is not None:
+                    on_undeliverable(device)
+                return
             device.measure_rssi(beacon, on_sample)
 
-        self.sim.schedule(self.delivery_delay(), on_delivered)
+        self.sim.schedule(delay, on_delivered)
+        self.pushes_sent += 1
+        return True
 
     def request_group(
         self,
         devices: list,
         beacon: BluetoothBeacon,
         callback: Callable[[RssiReport], None],
+        on_undeliverable: Optional[UndeliverableCallback] = None,
     ) -> None:
         """Push to a whole device group simultaneously (multi-user mode,
         Section IV-C): each device replies independently."""
         for device in devices:
-            self.request_rssi(device, beacon, callback)
+            self.request_rssi(device, beacon, callback,
+                              on_undeliverable=on_undeliverable)

@@ -22,7 +22,7 @@ terminate one side and impersonate the other.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConnectionClosedError, NetworkError

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.faults.plan import FaultInjector
 from repro.radio.geometry import Point
 from repro.radio.propagation import PropagationModel
 from repro.sim.random import bounded_lognormal
@@ -68,14 +69,17 @@ class BluetoothScanner:
         rng: np.random.Generator,
         body_blocked_provider: Optional[Callable[[], bool]] = None,
         interference_provider: Optional[Callable[[], bool]] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.name = name
         self.model = model
         self.position_provider = position_provider
         self.body_blocked_provider = body_blocked_provider
         self.interference_provider = interference_provider
+        self.faults = faults
         self._rng = rng
         self.scan_count = 0
+        self.scans_failed = 0
 
     def instant_rssi(self, beacon: BluetoothBeacon, time: float) -> RssiSample:
         """A single immediate measurement (used for trace recording,
@@ -108,6 +112,12 @@ class BluetoothScanner:
         if self.interference_provider is not None and self.interference_provider():
             duration = min(duration * self.INTERFERENCE_FACTOR, self.SCAN_MAX * 1.5)
         self.scan_count += 1
+        if self.faults is not None and self.faults.scan_failed(self.name):
+            # The window elapses without catching a single advertisement
+            # frame (scheduler starvation, 2.4 GHz collision burst): the
+            # app has nothing to report, so the callback never fires.
+            self.scans_failed += 1
+            return duration
 
         def finish() -> None:
             # All frames land at the same instant, so the position is

@@ -9,7 +9,7 @@ refers to routes by those numbers, so the reproduction does too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

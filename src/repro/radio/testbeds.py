@@ -129,14 +129,14 @@ def house_testbed() -> Testbed:
     plan = FloorPlan("two-floor house", floor_count=2)
 
     living = plan.add_room(Room("living_room", 0.0, 0.0, 6.0, 8.0, floor=0))
-    stairwell = plan.add_room(
+    plan.add_room(
         Room("stairwell", 6.0, 3.0, 8.0, 6.0, floor=0, height=2 * FLOOR_HEIGHT)
     )
-    hallway = plan.add_room(Room("hallway", 6.0, 6.0, 8.0, 8.0, floor=0))
+    plan.add_room(Room("hallway", 6.0, 6.0, 8.0, 8.0, floor=0))
     kitchen = plan.add_room(Room("kitchen", 8.0, 4.0, 12.0, 8.0, floor=0))
-    restroom = plan.add_room(Room("restroom", 8.0, 0.0, 12.0, 4.0, floor=0))
-    bedroom_a = plan.add_room(Room("bedroom_a", 0.0, 0.0, 6.0, 8.0, floor=1))
-    landing = plan.add_room(Room("landing", 6.0, 0.0, 8.0, 8.0, floor=1))
+    plan.add_room(Room("restroom", 8.0, 0.0, 12.0, 4.0, floor=0))
+    plan.add_room(Room("bedroom_a", 0.0, 0.0, 6.0, 8.0, floor=1))
+    plan.add_room(Room("landing", 6.0, 0.0, 8.0, 8.0, floor=1))
     bedroom_b = plan.add_room(Room("bedroom_b", 8.0, 3.0, 12.0, 8.0, floor=1))
     bath_up = plan.add_room(Room("bath_up", 8.0, 0.0, 12.0, 3.0, floor=1))
 

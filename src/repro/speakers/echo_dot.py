@@ -29,7 +29,7 @@ from repro.net.tcp import TcpConnection, TcpTuning
 from repro.net.tls import TlsSession
 from repro.speakers import signatures as sig
 from repro.speakers.base import InteractionRecord, SmartSpeaker
-from repro.speakers.interaction import EchoTrafficModel, RecordSpec
+from repro.speakers.interaction import EchoTrafficModel
 
 
 class EchoDot(SmartSpeaker):

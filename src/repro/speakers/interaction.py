@@ -14,7 +14,7 @@ evade the recognizer (the 2-in-134 misses of Table I).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

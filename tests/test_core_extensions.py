@@ -17,7 +17,6 @@ from repro.core.methods import (
 from repro.core.signature_learning import SignatureLearner
 from repro.errors import ConfigError
 from repro.experiments.scenarios import build_scenario
-from repro.speakers import signatures as sig
 from repro.speakers.base import InteractionOutcome
 
 

@@ -9,9 +9,7 @@ from repro.audio.speech import full_utterance_duration
 from repro.core.config import VoiceGuardConfig
 from repro.core.decision import Verdict
 from repro.core.events import TrafficClass
-from repro.core.recognition import SpeakerProfile
 from repro.experiments.scenarios import build_scenario
-from repro.speakers import signatures as sig
 from repro.speakers.base import InteractionOutcome
 
 

@@ -13,7 +13,6 @@ from repro.core.recognition import SpeakerProfile, TrafficRecognition
 from repro.net.addresses import IPv4Address, endpoint
 from repro.net.packet import Packet, Protocol
 from repro.net.proxy import ForwarderDecision, ProxiedFlow
-from repro.sim.simulator import Simulator
 from repro.speakers import signatures as sig
 
 SPEAKER_IP = IPv4Address("192.168.1.200")

@@ -6,7 +6,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.regression import linear_fit
 from repro.core.config import VoiceGuardConfig
 from repro.core.decision import (
     DecisionContext,

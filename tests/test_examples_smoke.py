@@ -11,7 +11,6 @@ import pathlib
 import runpy
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
 

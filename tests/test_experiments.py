@@ -5,9 +5,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.metrics import ConfusionMatrix
 from repro.audio.voiceprint import UtteranceSource
-from repro.experiments.fig3 import Spike, group_spikes
+from repro.experiments.fig3 import group_spikes
 from repro.experiments.fig6 import corpus_report
 from repro.experiments.rssi_tables import PAPER_COUNTS, PAPER_TABLES
 from repro.experiments.runner import run_rssi_experiment, score_interactions
@@ -17,7 +16,7 @@ from repro.experiments.scenarios import (
     train_trace_classifier,
 )
 from repro.experiments.workload import SevenDayWorkload
-from repro.speakers.base import InteractionOutcome, InteractionRecord
+from repro.speakers.base import InteractionRecord
 
 
 class TestScenarioBuilder:

@@ -9,7 +9,6 @@ from repro.audio.voiceprint import UtteranceSource
 from repro.errors import RadioError
 from repro.home.devices import TRACE_SAMPLE_COUNT, TRACE_SAMPLE_PERIOD, MotionSensor
 from repro.home.environment import HomeEnvironment
-from repro.home.person import Person
 from repro.home.push import PushService, RssiReport
 from repro.radio.geometry import Point
 from repro.radio.testbeds import WalkRoute, apartment_testbed, house_testbed
@@ -119,7 +118,7 @@ class TestMotionSensor:
         assert len(events) == 1
 
     def test_refractory_period(self, house_env):
-        person = house_env.add_person("alice", Point(7.0, 4.5, 0))
+        house_env.add_person("alice", Point(7.0, 4.5, 0))
         sensor = house_env.install_motion_sensor()
         events = []
         sensor.on_motion = events.append

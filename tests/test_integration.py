@@ -15,7 +15,6 @@ from repro.attacks.synthesis import SynthesisAttack
 from repro.audio.speech import full_utterance_duration
 from repro.core.decision import Verdict
 from repro.core.events import TrafficClass
-from repro.core.recognition import SpeakerProfile
 from repro.experiments.scenarios import build_scenario
 from repro.speakers.base import InteractionOutcome
 

@@ -12,7 +12,6 @@ from repro.net.link import Host, Network, TapHost
 from repro.net.packet import Packet, Protocol, TcpFlags, TlsRecordType
 from repro.net.udp import UdpFlow, ephemeral_udp_flow
 from repro.sim.random import RngHub
-from repro.sim.simulator import Simulator
 
 
 @pytest.fixture

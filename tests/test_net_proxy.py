@@ -7,7 +7,7 @@ import pytest
 from repro.errors import NetworkError
 from repro.net.addresses import Endpoint, IPv4Address
 from repro.net.link import Host, Network
-from repro.net.packet import Packet, Protocol, TlsRecordType
+from repro.net.packet import Packet, Protocol
 from repro.net.proxy import ForwarderDecision, TransparentProxy, UdpForwarder
 from repro.net.tcp import TcpStack
 from repro.net.tls import TlsSession, TlsViolation

@@ -4,7 +4,6 @@ decision combinators, bootstrap statistics, and corpus phrases."""
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import assume, given
 from hypothesis import strategies as st
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import FloorPlanError
 from repro.radio.bluetooth import BluetoothBeacon, BluetoothScanner
-from repro.radio.floorplan import FLOOR_HEIGHT, Door, FloorPlan, Room, SlabZone, Wall
+from repro.radio.floorplan import FLOOR_HEIGHT, Door, FloorPlan, Room, SlabZone
 from repro.radio.geometry import (
     Point,
     count_floor_crossings,

@@ -10,7 +10,10 @@ from repro.errors import WorkloadError
 from repro.experiments.hold_endurance import run_hold_endurance
 from repro.experiments.report import ReportSection, ReproductionReport
 from repro.experiments.scenarios import add_second_speaker, build_scenario
-from repro.speakers.base import InteractionOutcome
+
+# Endurance sweeps simulate long holds across both actuators; they belong
+# to the nightly full-suite run, not the per-push gate.
+pytestmark = pytest.mark.slow
 
 
 class TestHoldEndurance:

@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import VoiceGuardConfig
-from repro.core.events import GuardLog, TrafficClass
+from repro.core.events import GuardLog
 from repro.core.recognition import SpeakerProfile, TrafficRecognition
 from repro.net.addresses import IPv4Address, endpoint
 from repro.net.packet import Packet, Protocol, next_packet_number, reset_packet_numbers
@@ -25,6 +25,9 @@ from repro.radio.propagation import PropagationModel
 from repro.radio.testbeds import testbed_by_name as build_testbed
 from repro.sim.events import EventQueue
 from repro.sim.simulator import Simulator
+
+# Exhaustive bit-for-bit sweeps over testbeds x seeds: nightly material.
+pytestmark = pytest.mark.slow
 
 TESTBEDS = ("house", "apartment", "office")
 SEEDS = (3, 7, 11)

@@ -9,7 +9,6 @@ from repro.net.addresses import Endpoint, IPv4Address
 from repro.net.link import Host, Network
 from repro.net.tcp import TcpStack
 from repro.sim.random import RngHub
-from repro.sim.simulator import Simulator
 
 
 class TestSensitivity:

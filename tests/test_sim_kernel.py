@@ -8,7 +8,6 @@ from repro.errors import SimulationError
 from repro.sim.clock import SimClock
 from repro.sim.events import EventQueue
 from repro.sim.process import PeriodicTask, Timer, call_repeatedly
-from repro.sim.simulator import Simulator
 
 
 class TestSimClock:

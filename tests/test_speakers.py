@@ -53,7 +53,7 @@ class TestEchoTrafficModel:
         for _ in range(30):
             script = model.command_phase(3.0)
             first5 = [r.length for r in script.records[:5]]
-            assert any(l in sig.PHASE1_MARKERS for l in first5)
+            assert any(length in sig.PHASE1_MARKERS for length in first5)
             assert script.variant == "marker"
 
     def test_fixed_variant_matches_a_fixed_pattern(self, rng):
@@ -80,7 +80,7 @@ class TestEchoTrafficModel:
         script = echo_model.command_phase(3.0)
         tail = [r.length for r in script.records[-4:]]
         low, high = sig.AUDIO_RECORD_RANGE
-        assert all(low <= l <= high for l in tail)
+        assert all(low <= length <= high for length in tail)
 
     def test_record_offsets_monotonic(self, echo_model):
         script = echo_model.command_phase(5.0)
