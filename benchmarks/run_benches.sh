@@ -21,10 +21,13 @@ export PYTHONPATH
 if [ "${1:-}" = "--smoke" ]; then
     python -m repro bench-rssi --seed 7 --seconds 0.05 \
         --output benchmarks/results/BENCH_rssi.json
+    python benchmarks/bench_obs_overhead.py --smoke \
+        --output benchmarks/results/BENCH_obs.json
     exit 0
 fi
 
 python -m repro bench-rssi --seed 7 --output benchmarks/results/BENCH_rssi.json
+python benchmarks/bench_obs_overhead.py --output benchmarks/results/BENCH_obs.json
 
 if [ "${1:-}" = "--all" ]; then
     python -m pytest benchmarks/ -q

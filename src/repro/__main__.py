@@ -8,6 +8,7 @@ Commands
 ``campaign``    — the multi-home media campaign experiment
 ``endurance``   — the hold-endurance sweep
 ``resilience``  — fault rate x retry policy sweep (availability under faults)
+``trace``       — run one traced scenario; waterfall + phase timings from spans
 ``bench-rssi``  — microbenchmark the RSSI kernel, write BENCH_rssi.json
 ``demo``        — the quickstart scenario, narrated
 """
@@ -122,6 +123,23 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.trace import run_trace
+
+    report = run_trace(
+        testbed_name=args.scenario,
+        speaker_kind=args.speaker,
+        seed=args.seed,
+        legit=args.commands,
+        attacks=args.attacks,
+    )
+    print(report.render())
+    if args.jsonl:
+        path = report.write_jsonl(args.jsonl)
+        print(f"(spans written to {path})")
+    return 0
+
+
 def _cmd_bench_rssi(args: argparse.Namespace) -> int:
     from repro.experiments.bench_rssi import render_bench, run_bench_rssi, write_bench
 
@@ -201,6 +219,20 @@ def build_parser() -> argparse.ArgumentParser:
                             default="all")
     resilience.add_argument("--output", default=None)
     resilience.set_defaults(func=_cmd_resilience)
+
+    trace = sub.add_parser("trace", parents=[common],
+                           help="trace one scenario: per-command waterfall and "
+                                "Fig. 4 phase timings reconstructed from spans")
+    trace.add_argument("scenario", choices=["house", "apartment", "office"],
+                       help="testbed to trace")
+    trace.add_argument("--speaker", choices=["echo", "google"], default="echo")
+    trace.add_argument("--commands", type=int, default=2,
+                       help="legitimate owner commands to issue")
+    trace.add_argument("--attacks", type=int, default=1,
+                       help="replayed attacks to issue afterwards")
+    trace.add_argument("--jsonl", default=None,
+                       help="also dump the span forest as JSONL here")
+    trace.set_defaults(func=_cmd_trace)
 
     bench = sub.add_parser("bench-rssi", parents=[common],
                            help="microbenchmark the RSSI kernel + event queue")

@@ -97,13 +97,21 @@ class ConfusionMatrix:
         )
 
     def render(self) -> str:
-        """Text rendering in the style of the paper's Table I."""
+        """Text rendering in the style of the paper's Table I.
+
+        Undefined rates (an empty matrix, or no positive predictions)
+        render as an em dash, never as ``nan%``.
+        """
+        from repro.analysis.reporting import fmt_percent
+
         lines = [
             "                  Predicted",
             "                  Positive  Negative  Total",
             f"Actual Positive   {self.true_positive:>8}  {self.false_negative:>8}  {self.actual_positive:>5}",
             f"Actual Negative   {self.false_positive:>8}  {self.true_negative:>8}  {self.actual_negative:>5}",
-            f"Accuracy: {self.accuracy:.2%}  Precision: {self.precision:.2%}  Recall: {self.recall:.2%}",
+            f"Accuracy: {fmt_percent(self.accuracy)}  "
+            f"Precision: {fmt_percent(self.precision)}  "
+            f"Recall: {fmt_percent(self.recall)}",
         ]
         return "\n".join(lines)
 

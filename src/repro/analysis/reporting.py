@@ -55,6 +55,39 @@ def render_task_timings(timings: Sequence[object],
     return f"{table}\n{summary}"
 
 
+def render_metrics_snapshot(snapshot: dict,
+                            title: str = "Guard metrics") -> str:
+    """Render a :meth:`repro.obs.metrics.MetricsRegistry.snapshot` dict.
+
+    Counters and gauges share one table; histograms get a second table
+    with count/mean/min/max (empty histograms render as dashes).
+    """
+    rows = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        rows.append([name, "counter", value])
+    for name, gauge in sorted(snapshot.get("gauges", {}).items()):
+        rows.append([name, "gauge", f"{gauge['value']:g} (high {gauge['high_water']:g})"])
+    sections = []
+    if rows:
+        sections.append(render_table(title, ["metric", "kind", "value"], rows))
+    hist_rows = []
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        count = hist["count"]
+        if count:
+            mean = hist["total"] / count
+            hist_rows.append([name, count, f"{mean:.4g}",
+                              f"{hist['min']:.4g}", f"{hist['max']:.4g}"])
+        else:
+            hist_rows.append([name, 0, "—", "—", "—"])
+    if hist_rows:
+        sections.append(render_table(f"{title}: histograms",
+                                     ["histogram", "count", "mean", "min", "max"],
+                                     hist_rows))
+    if not sections:
+        return f"{title}\n{'=' * len(title)}\n(no metrics recorded)"
+    return "\n\n".join(sections)
+
+
 def render_histogram(title: str, values: Sequence[float], bins: Sequence[float],
                      width: int = 40) -> str:
     """ASCII histogram (used for the Figure 7 delay distribution)."""

@@ -47,6 +47,7 @@ from repro.core.resilience import (
     ResilienceRecorder,
 )
 from repro.home.push import PushService, RssiReport
+from repro.obs.tracer import NULL_SPAN, Observability
 from repro.radio.bluetooth import BluetoothBeacon
 from repro.sim.simulator import Simulator
 
@@ -66,6 +67,7 @@ class DecisionContext:
     window_id: int
     speaker_ip: str
     requested_at: float
+    span: object = NULL_SPAN  # the command's root span, for parent linking
 
 
 @dataclass
@@ -125,6 +127,7 @@ class RssiDecisionMethod(DecisionMethod):
         proximity_cache_ttl: float = 0.0,
         retry_rng: Optional[np.random.Generator] = None,
         on_event: Optional[ResilienceRecorder] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim
         self.push = push
@@ -144,6 +147,17 @@ class RssiDecisionMethod(DecisionMethod):
         self.degraded_grants = 0
         self.offline_seen = 0
         self.events: List[ResilienceEvent] = []
+        obs = obs or Observability()
+        self.tracer = obs.tracer
+        metrics = obs.metrics.scope("decision")
+        self._m_queries = metrics.counter("queries")
+        self._m_retries = metrics.counter("retries_sent")
+        self._m_degraded = metrics.counter("degraded_grants")
+        self._m_offline = metrics.counter("devices_offline")
+        self._m_latency = metrics.histogram("latency")
+        self._m_verdicts = {
+            verdict: metrics.counter(f"verdict.{verdict.value}") for verdict in Verdict
+        }
 
     def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
         """Query all registered devices; legitimate on the first satisfying report."""
@@ -151,10 +165,16 @@ class RssiDecisionMethod(DecisionMethod):
         if not entries:
             # No registered users: everything is treated as malicious,
             # mirroring a guard that has not been enrolled yet.
+            self._m_verdicts[Verdict.MALICIOUS].inc()
             callback(DecisionResult(verdict=Verdict.MALICIOUS))
             return
         self.queries_issued += 1
+        self._m_queries.inc()
         state = _QueryState(expected=len(entries))
+        state.span = self.tracer.begin(
+            "decision.query", parent=context.span,
+            window_id=context.window_id, devices=len(entries),
+        )
         max_attempts = 1 + self.push_retries
 
         def build_result(verdict: Verdict, satisfied_by: Optional[str] = None,
@@ -177,6 +197,13 @@ class RssiDecisionMethod(DecisionMethod):
             for handle in state.retry_timers.values():
                 handle.cancel()
             state.retry_timers.clear()
+            self._m_latency.record(self.sim.now - context.requested_at)
+            self._m_verdicts[result.verdict].inc()
+            for span in state.push_spans.values():
+                if not span.finished:
+                    span.finish(status="abandoned")
+            state.span.finish(verdict=result.verdict.value,
+                              degraded=result.degraded, retries=state.retries)
             callback(result)
 
         def cache_eligible(name: str) -> bool:
@@ -199,6 +226,7 @@ class RssiDecisionMethod(DecisionMethod):
                 proof = self.proximity_cache.fresh_proof(self.sim.now, cache_eligible)
                 if proof is not None:
                     self.degraded_grants += 1
+                    self._m_degraded.inc()
                     self._record(state, ResilienceEventType.DEGRADED_GRANT,
                                  context, device=proof)
                     finish(build_result(Verdict.LEGITIMATE, satisfied_by=proof,
@@ -216,6 +244,9 @@ class RssiDecisionMethod(DecisionMethod):
 
         def on_report(report: RssiReport) -> None:
             name = report.device_name
+            push_span = state.push_spans.get(name)
+            if push_span is not None and not push_span.finished:
+                push_span.finish(status="report", rssi=report.sample.rssi)
             entry = self._entry_for(name)
             if entry is not None:
                 # Even late or duplicate reports refresh the cache: they
@@ -240,13 +271,17 @@ class RssiDecisionMethod(DecisionMethod):
             check_unreachable()
 
         def on_undeliverable(device) -> None:
+            name = device.name
+            push_span = state.push_spans.get(name)
+            if push_span is not None and not push_span.finished:
+                push_span.finish(status="offline")
             if state.done:
                 return
-            name = device.name
             if name in state.answered or name in state.offline:
                 return
             state.offline.add(name)
             self.offline_seen += 1
+            self._m_offline.inc()
             self._record(state, ResilienceEventType.DEVICE_OFFLINE, context,
                          device=name, attempt=state.attempts.get(name, 0))
             timer = state.retry_timers.pop(name, None)
@@ -278,6 +313,13 @@ class RssiDecisionMethod(DecisionMethod):
             if attempt > 1:
                 state.retries += 1
                 self.retries_sent += 1
+                self._m_retries.inc()
+            previous = state.push_spans.get(name)
+            if previous is not None and not previous.finished:
+                previous.finish(status="superseded")
+            state.push_spans[name] = self.tracer.begin(
+                "push.roundtrip", parent=state.span, device=name, attempt=attempt,
+            )
             old = state.retry_timers.pop(name, None)
             if old is not None:
                 old.cancel()
@@ -349,6 +391,7 @@ class RssiDecisionMethod(DecisionMethod):
             device_name=device,
             attempt=attempt,
         )
+        state.span.event(type_.value, device=device, attempt=attempt)
         self.events.append(event)
         if self.on_event is not None:
             self.on_event(event)
@@ -357,7 +400,7 @@ class RssiDecisionMethod(DecisionMethod):
 class _QueryState:
     __slots__ = ("expected", "names", "reports", "floor_vetoed", "done",
                  "deadline", "answered", "offline", "attempts", "retry_timers",
-                 "retries")
+                 "retries", "span", "push_spans")
 
     def __init__(self, expected: int) -> None:
         self.expected = expected
@@ -371,6 +414,8 @@ class _QueryState:
         self.attempts: Dict[str, int] = {}
         self.retry_timers: Dict[str, object] = {}
         self.retries = 0
+        self.span = NULL_SPAN
+        self.push_spans: Dict[str, object] = {}
 
 
 class DecisionModule:

@@ -23,6 +23,7 @@ from repro.analysis.traces import RssiTrace
 from repro.errors import ConfigError
 from repro.faults.plan import FaultInjector
 from repro.home.devices import MobileDevice
+from repro.obs.tracer import NULL_SPAN, Observability
 from repro.radio.bluetooth import BluetoothBeacon
 from repro.sim.simulator import Simulator
 
@@ -153,6 +154,7 @@ class FloorLevelTracker:
         speaker_floor: int,
         floor_count: int,
         faults: Optional[FaultInjector] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if floor_count < 1:
             raise ConfigError(f"floor_count must be >= 1, got {floor_count!r}")
@@ -167,6 +169,13 @@ class FloorLevelTracker:
         self._recording: Dict[str, bool] = {}
         self.trace_events: List[TraceEvent] = []
         self.traces_dropped = 0
+        obs = obs or Observability()
+        self.tracer = obs.tracer
+        metrics = obs.metrics.scope("floor")
+        self._m_traces = metrics.counter("traces_recorded")
+        self._m_dropped = metrics.counter("traces_dropped")
+        self._m_transitions = metrics.counter("floor_transitions")
+        self._trace_spans: Dict[str, object] = {}
 
     def track(self, device: MobileDevice, initial_floor: Optional[int] = None) -> None:
         """Start tracking ``device``; default assumption: speaker floor."""
@@ -197,8 +206,10 @@ class FloorLevelTracker:
                 # The app missed its wake window (Doze, BLE radio busy):
                 # this device's floor estimate silently goes stale.
                 self.traces_dropped += 1
+                self._m_dropped.inc()
                 continue
             self._recording[name] = True
+            self._trace_spans[name] = self.tracer.begin("floor.trace", device=name)
             device.record_trace(self.beacon, lambda samples, n=name: self._on_trace(n, samples))
 
     def _on_trace(self, device_name: str, samples: list) -> None:
@@ -210,6 +221,11 @@ class FloorLevelTracker:
         delta = FLOOR_DELTAS.get(label, 0)
         after = min(max(before + delta, 0), self.floor_count - 1)
         self._floors[device_name] = after
+        self._m_traces.inc()
+        if after != before:
+            self._m_transitions.inc()
+        self._trace_spans.pop(device_name, NULL_SPAN).finish(
+            label=label, floor_before=before, floor_after=after)
         self.trace_events.append(TraceEvent(
             device_name=device_name,
             time=self.sim.now,

@@ -43,15 +43,17 @@ class VoiceGuard:
         self.network = network
         self.config = config or VoiceGuardConfig()
         self.log = GuardLog()
+        self.obs = env.obs
 
-        self.proxy = TransparentProxy("voiceguard", guard_ip)
+        self.proxy = TransparentProxy("voiceguard", guard_ip, obs=self.obs)
         network.attach(self.proxy)
         self.udp_forwarder: Optional[UdpForwarder] = None
 
         self.registry = DeviceRegistry()
         self.floor_tracker: Optional[FloorLevelTracker] = None
 
-        self.recognition = TrafficRecognition(env.sim, self.config, self.log)
+        self.recognition = TrafficRecognition(env.sim, self.config, self.log,
+                                              obs=self.obs)
         # The retry jitter draws from its own named stream: enabling
         # retries never perturbs any other component's randomness.
         self.rssi_method = RssiDecisionMethod(
@@ -68,6 +70,7 @@ class VoiceGuard:
             proximity_cache_ttl=self.config.proximity_cache_ttl,
             retry_rng=env.rng.stream("decision.retry"),
             on_event=self.log.record_resilience,
+            obs=self.obs,
         )
         self.decision = DecisionModule(self.rssi_method)
         self.handler = TrafficHandler(
@@ -76,6 +79,7 @@ class VoiceGuard:
             proxy=self.proxy,
             udp_forwarder=None,
             decision=self.decision,
+            obs=self.obs,
         )
 
         # Wiring: tapped packets -> recognizer -> handler -> proxy queues.
@@ -133,6 +137,7 @@ class VoiceGuard:
             speaker_floor=self.env.speaker_floor,
             floor_count=self.env.testbed.plan.floor_count,
             faults=self.env.faults,
+            obs=self.obs,
         )
         for entry in self.registry.entries():
             floor = (initial_floors or {}).get(entry.name)
@@ -157,12 +162,21 @@ class VoiceGuard:
         return self.log.commands()
 
     def summary(self) -> Dict[str, float]:
-        """Counters: windows, commands, released, blocked."""
+        """Counters: windows, commands, released, blocked, plus rates.
+
+        The rates are 0.0 (not NaN) on a run that saw no commands, so
+        downstream reporting never divides by zero.
+        """
         commands = self.log.commands()
+        released = float(self.handler.commands_released)
+        blocked = float(self.handler.commands_blocked)
+        total = float(len(commands))
         return {
             "windows": float(len(self.log)),
-            "commands": float(len(commands)),
-            "released": float(self.handler.commands_released),
-            "blocked": float(self.handler.commands_blocked),
+            "commands": total,
+            "released": released,
+            "blocked": blocked,
             "benign_released": float(self.handler.benign_windows_released),
+            "release_rate": released / total if total else 0.0,
+            "block_rate": blocked / total if total else 0.0,
         }

@@ -21,6 +21,7 @@ from repro.core.events import TrafficClass
 from repro.core.recognition import Window
 from repro.net.packet import Protocol
 from repro.net.proxy import ProxiedFlow, TransparentProxy, UdpForwarder
+from repro.obs.tracer import Observability
 from repro.sim.simulator import Simulator
 
 
@@ -34,6 +35,7 @@ class TrafficHandler:
         proxy: TransparentProxy,
         udp_forwarder: Optional[UdpForwarder],
         decision: DecisionModule,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -43,6 +45,13 @@ class TrafficHandler:
         self.commands_released = 0
         self.commands_blocked = 0
         self.benign_windows_released = 0
+        metrics = (obs or Observability()).metrics.scope("proxy")
+        self._m_released = metrics.counter("commands_released")
+        self._m_blocked = metrics.counter("commands_blocked")
+        self._m_benign = metrics.counter("benign_released")
+        self._m_failsafe = metrics.counter("failsafe_resolutions")
+        self._m_hold = metrics.histogram("hold_duration")
+        self._m_held_records = metrics.counter("records_resolved")
 
     # -- recognizer callback ------------------------------------------------
     def on_window_classified(self, window: Window, classification: TrafficClass) -> None:
@@ -52,6 +61,7 @@ class TrafficHandler:
         else:
             # Response or unknown spike: let it through immediately.
             self.benign_windows_released += 1
+            self._m_benign.inc()
             self._release(window)
 
     # -- decision plumbing -----------------------------------------------------
@@ -60,6 +70,7 @@ class TrafficHandler:
             window_id=window.window_id,
             speaker_ip=str(window.speaker_ip),
             requested_at=self.sim.now,
+            span=window.span,
         )
 
         def on_result(result: DecisionResult) -> None:
@@ -69,23 +80,30 @@ class TrafficHandler:
                 window.event.verdict = result.verdict
                 window.event.verdict_at = self.sim.now
                 window.event.rssi_reports = list(result.reports)
+            window.span.set(verdict=result.verdict.value)
             if result.verdict is Verdict.LEGITIMATE:
                 self.commands_released += 1
+                self._m_released.inc()
                 self._release(window)
             elif result.verdict is Verdict.MALICIOUS:
                 self.commands_blocked += 1
+                self._m_blocked.inc()
                 self._discard(window)
             else:  # TIMEOUT
                 if self.config.fail_open:
                     self.commands_released += 1
+                    self._m_released.inc()
                     self._release(window)
                 else:
                     self.commands_blocked += 1
+                    self._m_blocked.inc()
                     self._discard(window)
 
         def failsafe() -> None:
             # Never hold a flow past max_hold, whatever went wrong.
             if not window.resolved:
+                self._m_failsafe.inc()
+                window.span.event("handler.max_hold_failsafe")
                 if self.config.fail_open:
                     self._release(window)
                 else:
@@ -98,6 +116,7 @@ class TrafficHandler:
     def _release(self, window: Window) -> None:
         count = self._release_flow(window.flow)
         window.released = True
+        self._finish_spans(window, "released", count)
         if window.event is not None:
             window.event.released_at = self.sim.now
             window.event.held_records += count
@@ -105,9 +124,16 @@ class TrafficHandler:
     def _discard(self, window: Window) -> None:
         count = self._discard_flow(window.flow)
         window.discarded = True
+        self._finish_spans(window, "discarded", count)
         if window.event is not None:
             window.event.discarded_at = self.sim.now
             window.event.held_records += count
+
+    def _finish_spans(self, window: Window, outcome: str, held: int) -> None:
+        self._m_held_records.inc(held)
+        self._m_hold.record(self.sim.now - window.opened_at)
+        window.hold_span.finish(records=held, outcome=outcome)
+        window.span.finish(outcome=outcome)
 
     def _release_flow(self, flow: ProxiedFlow) -> int:
         if flow.protocol is Protocol.UDP:

@@ -32,6 +32,7 @@ from repro.core.events import CommandEvent, GuardLog, TrafficClass
 from repro.net.addresses import IPv4Address
 from repro.net.packet import Packet, Protocol
 from repro.net.proxy import ForwarderDecision, ProxiedFlow
+from repro.obs.tracer import NULL_SPAN, Observability
 from repro.sim.simulator import Simulator
 from repro.speakers import signatures as sig
 
@@ -58,6 +59,11 @@ class Window:
     released: bool = False
     discarded: bool = False
     event: Optional[CommandEvent] = None
+    # Observability: the per-window span tree (no-op objects when the
+    # tracer is disabled, so downstream code stays unconditional).
+    span: object = NULL_SPAN
+    classify_span: object = NULL_SPAN
+    hold_span: object = NULL_SPAN
 
     @property
     def pending(self) -> bool:
@@ -128,10 +134,28 @@ def finalize_echo_lengths(lengths: List[int]) -> TrafficClass:
 class TrafficRecognition:
     """Per-speaker traffic recognizer over proxied flows."""
 
-    def __init__(self, sim: Simulator, config: VoiceGuardConfig, log: GuardLog) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        config: VoiceGuardConfig,
+        log: GuardLog,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.sim = sim
         self.config = config
         self.log = log
+        obs = obs or Observability()
+        self.tracer = obs.tracer
+        metrics = obs.metrics.scope("recognition")
+        self._m_windows = metrics.counter("windows_opened")
+        self._m_classified = {
+            TrafficClass.COMMAND: metrics.counter("classified.command"),
+            TrafficClass.RESPONSE: metrics.counter("classified.response"),
+            TrafficClass.UNKNOWN: metrics.counter("classified.unknown"),
+        }
+        self._m_classify_packets = metrics.histogram(
+            "classify_packets", edges=(1, 2, 3, 4, 5, 6, 7))
+        self._m_classify_latency = metrics.histogram("classify_latency")
         self.on_classified: Optional[ClassifiedCallback] = None
         self._speakers: Dict[IPv4Address, _SpeakerState] = {}
         self._flows: Dict[int, _FlowState] = {}
@@ -245,9 +269,22 @@ class TrafficRecognition:
             protocol=fs.flow.protocol.value,
             opened_at=now,
         ))
+        window.span = self.tracer.begin(
+            "command.window",
+            window_id=window.window_id,
+            flow_id=fs.flow.flow_id,
+            speaker_ip=str(fs.flow.client.ip),
+            protocol=fs.flow.protocol.value,
+        )
+        window.classify_span = self.tracer.begin(
+            "recognition.classify", parent=window.span)
+        # Records are parked from the very first packet of a pending
+        # window, so the hold phase starts with the window itself.
+        window.hold_span = self.tracer.begin("proxy.hold", parent=window.span)
         fs.window = window
         fs.last_data_time = now
         self.windows_opened += 1
+        self._m_windows.inc()
         window.lengths.append(packet.payload_len)
         self._try_classify(speaker, window)
         if window.pending:
@@ -278,6 +315,12 @@ class TrafficRecognition:
     def _classify(self, window: Window, classification: TrafficClass) -> None:
         window.classification = classification
         window.classified_at = self.sim.now
+        window.classify_span.finish(
+            classification=classification.value, packets=len(window.lengths))
+        window.span.set(classification=classification.value)
+        self._m_classified[classification].inc()
+        self._m_classify_packets.record(len(window.lengths))
+        self._m_classify_latency.record(self.sim.now - window.opened_at)
         if window.event is not None:
             window.event.classification = classification
             window.event.classified_at = self.sim.now

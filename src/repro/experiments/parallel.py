@@ -317,3 +317,19 @@ def run_tasks(
     engine = ExperimentEngine(workers=workers, use_cache=use_cache,
                               cache_dir=cache_dir, progress=progress)
     return engine.run(tasks)
+
+
+def collect_metric_snapshots(results: Sequence[object]) -> List[dict]:
+    """Pull ``metrics`` snapshots out of heterogeneous task results.
+
+    Results without a snapshot (older cache entries, tasks that don't
+    collect metrics) are simply skipped, so a mixed batch still folds.
+    """
+    snapshots: List[dict] = []
+    for result in results:
+        snapshot = getattr(result, "metrics", None)
+        if snapshot is None and isinstance(result, dict):
+            snapshot = result.get("metrics")
+        if isinstance(snapshot, dict):
+            snapshots.append(snapshot)
+    return snapshots

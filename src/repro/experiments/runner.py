@@ -27,6 +27,9 @@ class RssiExperimentResult:
     matrix: ConfusionMatrix
     records: List[InteractionRecord] = field(default_factory=list)
     workload: Optional[WorkloadResult] = None
+    # Plain-dict metrics snapshot (repro.obs); picklable, so it
+    # survives the parallel engine's process-pool boundary.
+    metrics: Optional[dict] = None
 
     @property
     def legit_correct(self) -> int:
@@ -99,6 +102,7 @@ def run_rssi_experiment(
     owner_count: Optional[int] = None,
     config=None,
     with_floor_tracking: Optional[bool] = None,
+    tracing: bool = False,
 ) -> RssiExperimentResult:
     """Run one Tables II-IV cell end to end.
 
@@ -115,6 +119,7 @@ def run_rssi_experiment(
         owner_count=owner_count,
         config=config,
         with_floor_tracking=with_floor_tracking,
+        tracing=tracing,
     )
     workload = SevenDayWorkload(scenario)
     workload_result = workload.run(legit_count, malicious_count)
@@ -127,4 +132,5 @@ def run_rssi_experiment(
         matrix=matrix,
         records=records,
         workload=workload_result,
+        metrics=scenario.env.obs.metrics.snapshot(),
     )

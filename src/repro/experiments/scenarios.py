@@ -99,6 +99,7 @@ def build_scenario(
     misc_domains: int = 2,
     with_guard: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    tracing: bool = False,
 ) -> Scenario:
     """Build a fully wired scenario.
 
@@ -106,13 +107,14 @@ def build_scenario(
     commands (near-zero anomalous traffic), calibrated thresholds, and
     floor tracking wherever the testbed has stairs.  ``fault_plan``
     arms the environment's fault injector (see :mod:`repro.faults`);
-    without one, every injection hook is a no-op.
+    without one, every injection hook is a no-op.  ``tracing`` turns on
+    span collection (``env.obs.tracer``); it never changes a run.
     """
     if speaker_kind not in ("echo", "google"):
         raise WorkloadError(f"unknown speaker kind {speaker_kind!r}")
     testbed = testbed_by_name(testbed_name)
     env = HomeEnvironment(testbed, deployment=deployment, seed=seed,
-                          fault_plan=fault_plan)
+                          fault_plan=fault_plan, tracing=tracing)
     network = Network(env.sim, env.rng)
 
     dns_server = DnsServer("router-dns", IPv4Address(DNS_IP))

@@ -24,6 +24,7 @@ from repro.home.devices import MobileDevice, MotionSensor, Smartphone, Smartwatc
 from repro.home.person import Person
 from repro.home.push import PushService
 from repro.net.packet import reset_packet_numbers
+from repro.obs.tracer import Observability
 from repro.radio.bluetooth import BluetoothBeacon
 from repro.radio.geometry import Point, distance
 from repro.radio.propagation import PropagationModel, PropagationParams
@@ -47,6 +48,7 @@ class HomeEnvironment:
         seed: int = 0,
         params: Optional[PropagationParams] = None,
         fault_plan: Optional[FaultPlan] = None,
+        tracing: bool = False,
     ) -> None:
         if not 0 <= deployment < len(testbed.speaker_locations):
             raise RadioError(
@@ -59,6 +61,9 @@ class HomeEnvironment:
         reset_packet_numbers()
         self.rng = RngHub(seed)
         self.sim = Simulator()
+        # Metrics are always live (they cannot perturb a run); span
+        # tracing is opt-in and a true no-op when off.
+        self.obs = Observability(self.sim, tracing=tracing)
         # None unless a plan is active: components treat a missing
         # injector as "never inject", keeping fault-free runs pristine.
         self.faults: Optional[FaultInjector] = (
@@ -71,7 +76,7 @@ class HomeEnvironment:
             f"{testbed.name}-speaker", testbed.speaker_point(deployment)
         )
         self.push = PushService(self.sim, self.rng.stream("push.latency"),
-                                faults=self.faults)
+                                faults=self.faults, obs=self.obs)
         self.persons: Dict[str, Person] = {}
         self.devices: Dict[str, MobileDevice] = {}
         self.motion_sensor: Optional[MotionSensor] = None

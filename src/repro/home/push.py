@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.faults.plan import FaultInjector
 from repro.home.devices import MobileDevice
+from repro.obs.tracer import Observability
 from repro.radio.bluetooth import BluetoothBeacon, RssiSample
 from repro.sim.random import bounded_lognormal
 from repro.sim.simulator import Simulator
@@ -61,6 +62,7 @@ class PushService:
         sim: Simulator,
         rng: np.random.Generator,
         faults: Optional[FaultInjector] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.sim = sim
         self._rng = rng
@@ -69,6 +71,15 @@ class PushService:
         self.pushes_lost = 0
         self.pushes_undeliverable = 0
         self.reports_dropped = 0
+        # Pre-bound instruments: hot-path recording is one attribute add.
+        metrics = (obs or Observability()).metrics.scope("push")
+        self._m_sent = metrics.counter("sent")
+        self._m_lost = metrics.counter("lost")
+        self._m_undeliverable = metrics.counter("undeliverable")
+        self._m_reports_dropped = metrics.counter("reports_dropped")
+        self._m_reports = metrics.counter("reports_delivered")
+        self._m_delivery = metrics.histogram("delivery_delay")
+        self._m_rtt = metrics.histogram("round_trip")
 
     def delivery_delay(self) -> float:
         """Draw one push-delivery latency."""
@@ -98,6 +109,7 @@ class PushService:
         if faults is not None and faults.push_dropped(device.name):
             # Lost inside the messaging cloud: the sender learns nothing.
             self.pushes_lost += 1
+            self._m_lost.inc()
             return False
         delay = self.delivery_delay()
         if faults is not None:
@@ -106,9 +118,12 @@ class PushService:
         def on_sample(sample: RssiSample) -> None:
             if faults is not None and faults.report_dropped(device.name):
                 self.reports_dropped += 1
+                self._m_reports_dropped.inc()
                 return
 
             def deliver_report() -> None:
+                self._m_reports.inc()
+                self._m_rtt.record(self.sim.now - requested_at)
                 callback(
                     RssiReport(
                         device_name=device.name,
@@ -123,6 +138,7 @@ class PushService:
         def on_delivered() -> None:
             if faults is not None and faults.device_offline(device.name):
                 self.pushes_undeliverable += 1
+                self._m_undeliverable.inc()
                 if on_undeliverable is not None:
                     on_undeliverable(device)
                 return
@@ -130,6 +146,8 @@ class PushService:
 
         self.sim.schedule(delay, on_delivered)
         self.pushes_sent += 1
+        self._m_sent.inc()
+        self._m_delivery.record(delay)
         return True
 
     def request_group(

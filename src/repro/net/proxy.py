@@ -28,6 +28,7 @@ from repro.net.addresses import Endpoint, IPv4Address
 from repro.net.link import Network, TapHost
 from repro.net.packet import Packet, Protocol, TcpFlags
 from repro.net.tcp import TcpConnection, TcpStack, TcpTuning
+from repro.obs.tracer import NULL_SPAN, Observability
 
 
 class ForwarderDecision(enum.Enum):
@@ -81,6 +82,7 @@ class ProxiedFlow:
     records_discarded: int = 0
     closed: bool = False
     close_reason: Optional[str] = None
+    span: object = NULL_SPAN
 
     @property
     def holding(self) -> bool:
@@ -113,10 +115,18 @@ class TransparentProxy(TapHost):
         ip: IPv4Address,
         proxied_ports: Tuple[int, ...] = (443,),
         tuning: Optional[TcpTuning] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(name, ip)
         self.stack = TcpStack(self)
         self._tuning = tuning or TcpTuning()
+        obs = obs or Observability()
+        self.tracer = obs.tracer
+        metrics = obs.metrics.scope("proxy")
+        self._m_flows = metrics.counter("flows_opened")
+        self._m_forwarded = metrics.counter("records_forwarded")
+        self._m_held = metrics.counter("records_held")
+        self._m_discarded = metrics.counter("records_discarded")
         self.proxied_ports = tuple(proxied_ports)
         self.record_policy: Optional[RecordPolicy] = None
         self.on_flow_opened: Optional[FlowObserver] = None
@@ -177,6 +187,11 @@ class TransparentProxy(TapHost):
         flow.downstream = downstream
         self._flows_by_downstream[downstream.four_tuple] = flow
         self.flows.append(flow)
+        self._m_flows.inc()
+        flow.span = self.tracer.begin(
+            "proxy.flow", flow_id=flow.flow_id, protocol=flow.protocol.value,
+            client=str(flow.client), server=str(flow.server),
+        )
         downstream.on_record = lambda conn, pkt: self._on_client_record(flow, pkt)
         downstream.on_close = lambda conn, reason: self._on_downstream_close(flow, reason)
         downstream.on_established = lambda conn: self._open_upstream(flow)
@@ -198,6 +213,7 @@ class TransparentProxy(TapHost):
             decision = self.record_policy(flow, packet)
         if decision is ForwarderDecision.DROP:
             flow.records_discarded += 1
+            self._m_discarded.inc()
             return
         record = HeldRecord(
             payload_len=packet.payload_len,
@@ -208,6 +224,7 @@ class TransparentProxy(TapHost):
         )
         if decision is ForwarderDecision.HOLD:
             flow.held.append(record)
+            self._m_held.inc()
             return
         self._send_upstream(flow, record)
 
@@ -223,6 +240,7 @@ class TransparentProxy(TapHost):
             meta=record.meta,
         )
         flow.records_forwarded += 1
+        self._m_forwarded.inc()
 
     def _flush_awaiting(self, flow: ProxiedFlow) -> None:
         pending, flow.awaiting_upstream = flow.awaiting_upstream, []
@@ -245,6 +263,7 @@ class TransparentProxy(TapHost):
         """
         held, flow.held = flow.held, []
         flow.records_discarded += len(held)
+        self._m_discarded.inc(len(held))
         return len(held)
 
     # -- upstream (cloud-side) ---------------------------------------------
@@ -284,6 +303,8 @@ class TransparentProxy(TapHost):
             return
         flow.closed = True
         flow.close_reason = reason
+        flow.span.finish(reason=reason, forwarded=flow.records_forwarded,
+                         discarded=flow.records_discarded)
         if self.on_flow_closed:
             self.on_flow_closed(flow)
 
@@ -339,6 +360,11 @@ class UdpForwarder:
             )
             self._flows[key] = flow
             self.proxy.flows.append(flow)
+            self.proxy._m_flows.inc()
+            flow.span = self.proxy.tracer.begin(
+                "proxy.flow", flow_id=flow.flow_id, protocol=flow.protocol.value,
+                client=str(flow.client), server=str(flow.server),
+            )
             if self.proxy.on_flow_opened:
                 self.proxy.on_flow_opened(flow)
         decision = ForwarderDecision.FORWARD
@@ -346,6 +372,7 @@ class UdpForwarder:
             decision = self.proxy.record_policy(flow, packet)
         if decision is ForwarderDecision.DROP:
             flow.records_discarded += 1
+            self.proxy._m_discarded.inc()
             return
         record = HeldRecord(
             payload_len=packet.payload_len,
@@ -356,6 +383,7 @@ class UdpForwarder:
         )
         if decision is ForwarderDecision.HOLD:
             flow.held.append(record)
+            self.proxy._m_held.inc()
         else:
             self._forward(flow, record)
 
@@ -371,6 +399,7 @@ class UdpForwarder:
         )
         self.proxy.send(datagram)
         flow.records_forwarded += 1
+        self.proxy._m_forwarded.inc()
 
     def release_held(self, flow: ProxiedFlow) -> int:
         """Forward all held datagrams in order."""
@@ -385,4 +414,5 @@ class UdpForwarder:
         """Drop all held datagrams."""
         held, flow.held = flow.held, []
         flow.records_discarded += len(held)
+        self.proxy._m_discarded.inc(len(held))
         return len(held)

@@ -1,0 +1,54 @@
+"""Observability: sim-clock tracing, metrics, and exporters.
+
+The guard pipeline is instrumented with two substrates:
+
+* :mod:`repro.obs.tracer` — hierarchical spans keyed to the simulated
+  clock.  One voice command produces one ``command.window`` span tree
+  (recognition -> hold -> decision -> push round-trips) from which the
+  paper's Figure 4 phase timings can be reconstructed without any
+  ad-hoc instrumentation.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  fixed-bucket histograms with per-subsystem namespaces (``proxy.*``,
+  ``decision.*``, ``push.*``, ``floor.*``, ``recognition.*``) and O(1)
+  hot-path recording.
+
+Tracing is **off by default** and the disabled tracer is a true no-op:
+it never draws randomness, never schedules simulator events, and never
+touches the guard's event stream, so fault-free fixed-seed runs are
+byte-identical whether the package is wired in or not (asserted by
+``tests/test_golden_traces.py`` and the property suite).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+    merge_snapshots,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Observability,
+    Span,
+    SpanEvent,
+    SpanTracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "merge_snapshots",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "SpanEvent",
+    "SpanTracer",
+]

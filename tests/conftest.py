@@ -14,6 +14,19 @@ from repro.sim.random import RngHub
 from repro.sim.simulator import Simulator
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="regenerate the committed golden-trace fixtures "
+             "(tests/goldens/) instead of asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()
