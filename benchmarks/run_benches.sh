@@ -1,17 +1,20 @@
 #!/usr/bin/env sh
 # Refresh the committed benchmark artifacts.
 #
-#   benchmarks/run_benches.sh          # RSSI kernel bench -> BENCH_rssi.json
-#   benchmarks/run_benches.sh --smoke  # same bench at minimal wall time:
+#   benchmarks/run_benches.sh          # kernel benches -> BENCH_rssi.json,
+#                                      # BENCH_sim.json, BENCH_obs.json
+#   benchmarks/run_benches.sh --smoke  # same benches at minimal wall time:
 #                                      # exercises the whole path (CI's
 #                                      # bench job), numbers not citable
 #   benchmarks/run_benches.sh --all    # also re-run the full pytest bench
 #                                      # suite (regenerates every table and
 #                                      # figure artifact under results/)
 #
-# Run from the repository root.  The RSSI bench asserts, before timing,
-# that the batched kernels reproduce the scalar reference bit-for-bit,
-# so a passing run doubles as an equivalence check.
+# Run from the repository root.  Both kernel benches assert, before
+# timing, that the optimized path reproduces the reference bit-for-bit
+# (RSSI: batched kernels vs scalar reference; sim: guard event streams
+# legacy vs current kernel), so a passing run doubles as an
+# equivalence check.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,12 +24,15 @@ export PYTHONPATH
 if [ "${1:-}" = "--smoke" ]; then
     python -m repro bench-rssi --seed 7 --seconds 0.05 \
         --output benchmarks/results/BENCH_rssi.json
+    python -m repro bench-sim --seed 11 --smoke \
+        --output benchmarks/results/BENCH_sim.json
     python benchmarks/bench_obs_overhead.py --smoke \
         --output benchmarks/results/BENCH_obs.json
     exit 0
 fi
 
 python -m repro bench-rssi --seed 7 --output benchmarks/results/BENCH_rssi.json
+python -m repro bench-sim --seed 11 --output benchmarks/results/BENCH_sim.json
 python benchmarks/bench_obs_overhead.py --output benchmarks/results/BENCH_obs.json
 
 if [ "${1:-}" = "--all" ]; then

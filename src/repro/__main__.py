@@ -10,6 +10,8 @@ Commands
 ``resilience``  — fault rate x retry policy sweep (availability under faults)
 ``trace``       — run one traced scenario; waterfall + phase timings from spans
 ``bench-rssi``  — microbenchmark the RSSI kernel, write BENCH_rssi.json
+``bench-sim``   — legacy-vs-current sim-kernel bench, write BENCH_sim.json
+``profile``     — cProfile a scenario workload (the bench's companion tool)
 ``demo``        — the quickstart scenario, narrated
 """
 
@@ -153,6 +155,45 @@ def _cmd_bench_rssi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_sim(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_sim import render_bench, run_bench_sim, write_bench
+
+    payload = run_bench_sim(seed=args.seed, repeats=args.repeats,
+                            smoke=args.smoke)
+    print(render_bench(payload))
+    if args.output:
+        write_bench(args.output, payload)
+        print(f"(written to {args.output})")
+    if not args.smoke and payload["speedups"]["seven_day"] < payload["seven_day_floor"]:
+        print(f"FAIL: seven_day speedup {payload['speedups']['seven_day']}x "
+              f"below the {payload['seven_day_floor']}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.experiments.profile_scenario import render_profile, run_profile
+
+    result = run_profile(
+        testbed_name=args.scenario,
+        speaker_kind=args.speaker,
+        seed=args.seed,
+        counts=(args.commands, args.attacks),
+        seven_day=args.seven_day,
+        legacy=args.legacy,
+        top=args.top,
+        sort=args.sort,
+    )
+    print(render_profile(result))
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(render_profile(result) + "\n",
+                                             encoding="utf-8")
+        print(f"(written to {args.output})")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import runpy
     import pathlib
@@ -244,6 +285,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the machine-readable JSON payload here "
                             "(e.g. benchmarks/results/BENCH_rssi.json)")
     bench.set_defaults(func=_cmd_bench_rssi)
+
+    bench_sim = sub.add_parser(
+        "bench-sim", parents=[common],
+        help="time the legacy vs current sim kernel on the house/echo "
+             "workload (asserts byte-identical guard event streams first)")
+    bench_sim.add_argument("--repeats", type=int, default=2,
+                           help="interleaved runs per kernel (min is reported)")
+    bench_sim.add_argument("--smoke", action="store_true",
+                           help="short run: exercises the whole path and the "
+                                "equality assertions, numbers not citable")
+    bench_sim.add_argument("--output", default=None,
+                           help="also write the machine-readable JSON payload "
+                                "here (e.g. benchmarks/results/BENCH_sim.json)")
+    bench_sim.set_defaults(func=_cmd_bench_sim)
+
+    profile = sub.add_parser(
+        "profile", parents=[common],
+        help="cProfile one scenario workload; --legacy profiles the "
+             "pre-optimization kernel for before/after comparison")
+    profile.add_argument("scenario", nargs="?", default="house",
+                         choices=["house", "apartment", "office"],
+                         help="testbed to profile (default: house)")
+    profile.add_argument("--speaker", choices=["echo", "google"], default="echo")
+    profile.add_argument("--commands", type=int, default=10,
+                         help="legitimate owner commands to issue")
+    profile.add_argument("--attacks", type=int, default=7,
+                         help="replayed attacks to issue afterwards")
+    profile.add_argument("--seven-day", action="store_true",
+                         help="spread episodes over the paper's real seven-day "
+                              "timeline (idle-time costs dominate)")
+    profile.add_argument("--legacy", action="store_true",
+                         help="profile the pre-optimization kernel")
+    profile.add_argument("--top", type=int, default=30,
+                         help="rows of the pstats table to print")
+    profile.add_argument("--sort", choices=["cumulative", "tottime", "calls"],
+                         default="cumulative")
+    profile.add_argument("--output", default=None,
+                         help="also write the rendered profile here")
+    profile.set_defaults(func=_cmd_profile)
 
     demo = sub.add_parser("demo", parents=[common], help="run the quickstart demo")
     demo.set_defaults(func=_cmd_demo)

@@ -17,6 +17,7 @@ from repro.faults.plan import FaultInjector
 from repro.home.person import Person
 from repro.radio.bluetooth import BluetoothBeacon, BluetoothScanner, RssiSample
 from repro.radio.propagation import PropagationModel
+from repro.sim import compat
 from repro.sim.process import PeriodicTask
 from repro.sim.simulator import Simulator
 
@@ -118,6 +119,19 @@ class MotionSensor:
     It polls person positions (PIR refresh) and fires its callback when
     anyone is inside the covered region; a refractory period models the
     sensor's cooldown, so one stair traversal yields one event.
+
+    Positions are lazy functions of the active walk and the clock, so a
+    poll can only observe something new when somebody is walking (or
+    just moved).  The sensor exploits that to *gate* its polling: polls
+    inside the refractory window are skipped straight to the first
+    grid instant past it (they return unconditionally anyway), and when
+    every tracked person stands still outside the region the sensor
+    sleeps entirely, re-joining its 0.25 s poll grid when a
+    movement listener (:meth:`Person.add_movement_listener`) wakes it.
+    The instants at which a poll *observes* anything are exactly the
+    legacy schedule's, so fire times are bit-identical; only the no-op
+    wakeups disappear.  ``repro.sim.compat`` legacy mode keeps the
+    original poll-every-tick behaviour for the kernel benchmark.
     """
 
     POLL_PERIOD = 0.25
@@ -142,15 +156,36 @@ class MotionSensor:
         self._last_fired = -1e9
         self.event_count = 0
         self.events_missed = 0
-        self._task = PeriodicTask(sim, self.POLL_PERIOD, self._poll, first_delay=self.POLL_PERIOD)
+        self._stopped = True
+        self._next_poll = 0.0
+        self._poll_handle = None
+        if compat.legacy_kernel_enabled():
+            self._task = PeriodicTask(sim, self.POLL_PERIOD, self._poll, first_delay=self.POLL_PERIOD)
+        else:
+            self._task = None
+            for person in persons:
+                person.add_movement_listener(self._on_person_moved)
 
     def start(self) -> None:
         """Begin polling for motion."""
-        self._task.start()
+        if self._task is not None:
+            self._task.start()
+            return
+        if not self._stopped:
+            return
+        self._stopped = False
+        self._next_poll = self.sim.now + self.POLL_PERIOD
+        self._schedule_next()
 
     def stop(self) -> None:
         """Stop polling."""
-        self._task.stop()
+        if self._task is not None:
+            self._task.stop()
+            return
+        self._stopped = True
+        if self._poll_handle is not None:
+            self._poll_handle.cancel()
+            self._poll_handle = None
 
     def _covers(self, person: Person) -> bool:
         p = person.position
@@ -170,3 +205,58 @@ class MotionSensor:
             self.event_count += 1
             if self.on_motion is not None:
                 self.on_motion(now)
+
+    # -- gated polling (optimized kernel) -------------------------------
+    def _poll_event(self) -> None:
+        self._poll_handle = None
+        if self._stopped:
+            return
+        now = self._next_poll
+        self._poll(now)
+        # Advancing by repeated addition reproduces PeriodicTask's grid
+        # exactly (each fire schedules the next at fire time + period).
+        self._next_poll = now + self.POLL_PERIOD
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        # Fast-forward through the refractory window: legacy polls in it
+        # return before reading any position, so nothing observable can
+        # happen until the first grid instant past it.  The loop repeats
+        # the legacy per-tick comparison so the landing tick is
+        # float-exact.
+        t = self._next_poll
+        last_fired = self._last_fired
+        period = self.POLL_PERIOD
+        refractory = self.REFRACTORY
+        while t - last_fired < refractory:
+            t += period
+        self._next_poll = t
+        if not any(p.walking for p in self.persons) and not any(
+            self._covers(p) for p in self.persons
+        ):
+            # Everyone is standing still outside the region: coverage
+            # cannot change until someone moves.  Sleep; the movement
+            # listeners re-enter the poll grid.
+            return
+        self._poll_handle = self.sim.schedule_at(t, self._poll_event)
+
+    def _on_person_moved(self) -> None:
+        if self._stopped or self._poll_handle is not None:
+            return
+        # Re-join the poll grid at the next instant strictly after now.
+        # (A poll at exactly `now` would have read the pre-move position
+        # — known uncovered, or we would not have been asleep — so
+        # skipping it changes nothing observable.)
+        t = self._next_poll
+        now = self.sim.now
+        period = self.POLL_PERIOD
+        if now - t > 64.0 * period:
+            # After a long sleep, stepping tick by tick is O(gap).  The
+            # grid lives on multiples of the (dyadic) poll period, where
+            # one fused jump is float-exact, so land a few ticks short
+            # and let the exact per-tick addition finish the walk.
+            t += int((now - t) / period - 2.0) * period
+        while t <= now:
+            t += period
+        self._next_poll = t
+        self._schedule_next()

@@ -40,6 +40,7 @@ class Person:
         self._anchor = start
         self._walk: Optional[WalkRoute] = None
         self._walk_started = 0.0
+        self._movement_listeners: list = []
 
     # -- position ---------------------------------------------------------
     @property
@@ -68,15 +69,29 @@ class Person:
         return bool(self._rng.random() < 0.25)
 
     # -- movement ---------------------------------------------------------
+    def add_movement_listener(self, listener) -> None:
+        """Call ``listener()`` whenever this person starts a move.
+
+        Lazily evaluated positions mean nothing in the simulation ticks
+        while a person stands still; sleepy observers (the gated motion
+        sensor) use this hook to wake up only when positions can change
+        again.
+        """
+        self._movement_listeners.append(listener)
+
     def teleport(self, point: Point) -> None:
         """Place the person at ``point`` immediately (workload setup)."""
         self._walk = None
         self._anchor = point
+        for listener in self._movement_listeners:
+            listener()
 
     def follow(self, route: WalkRoute) -> None:
         """Begin walking ``route`` now; position interpolates over time."""
         self._walk = route
         self._walk_started = self.sim.now
+        for listener in self._movement_listeners:
+            listener()
 
     def walk_to(self, target: Point, speed: float = WALKING_SPEED) -> float:
         """Walk in a straight line to ``target``; returns the duration."""

@@ -24,25 +24,43 @@ def _validate_ipv4(text: str) -> str:
 
 @dataclass(frozen=True, order=True)
 class IPv4Address:
-    """A dotted-quad IPv4 address."""
+    """A dotted-quad IPv4 address.
+
+    Addresses are immutable, so RFC1918 membership and the hash are
+    computed once at construction: the network hot path asks
+    ``is_private`` for every packet and hashes endpoints for every
+    demux lookup, and recomputing either from the string dominated the
+    kernel profile.
+    """
 
     text: str
 
     def __post_init__(self) -> None:
         _validate_ipv4(self.text)
+        first, second, _, _ = self.text.split(".")
+        first_octet = int(first)
+        second_octet = int(second)
+        private = (
+            first_octet == 10
+            or (first_octet == 192 and second_octet == 168)
+            or (first_octet == 172 and 16 <= second_octet <= 31)
+        )
+        object.__setattr__(self, "_is_private", private)
+        # Same value the dataclass-generated hash would produce, so set
+        # iteration orders (and anything else hash-dependent) are
+        # unchanged by the caching.
+        object.__setattr__(self, "_hash", hash((self.text,)))
 
     def __str__(self) -> str:
         return self.text
 
+    def __hash__(self) -> int:
+        return self._hash
+
     @property
     def is_private(self) -> bool:
         """True for RFC1918 addresses (the home LAN side)."""
-        octets = [int(part) for part in self.text.split(".")]
-        if octets[0] == 10:
-            return True
-        if octets[0] == 192 and octets[1] == 168:
-            return True
-        return octets[0] == 172 and 16 <= octets[1] <= 31
+        return self._is_private
 
 
 @dataclass(frozen=True, order=True)
@@ -55,9 +73,13 @@ class Endpoint:
     def __post_init__(self) -> None:
         if not 0 < self.port <= 65535:
             raise NetworkError(f"invalid port {self.port!r}")
+        object.__setattr__(self, "_hash", hash((self.ip, self.port)))
 
     def __str__(self) -> str:
         return f"{self.ip}:{self.port}"
+
+    def __hash__(self) -> int:
+        return self._hash
 
 
 def endpoint(ip: str, port: int) -> Endpoint:

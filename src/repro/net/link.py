@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import NetworkError
 from repro.net.addresses import IPv4Address
 from repro.net.packet import Packet, Protocol
+from repro.sim import compat
 from repro.sim.random import RngHub
 from repro.sim.simulator import Simulator
 
@@ -138,6 +139,24 @@ class Network:
         self._observers: List[PacketObserver] = []
         self._last_delivery: Dict[tuple, float] = {}
         self.delivered_count = 0
+        self._legacy = compat.legacy_kernel_enabled()
+        # (origin_ip, src, dst) -> routing/latency facts.  Routing only
+        # changes when the topology does, so everything derivable from
+        # the key is computed once instead of per packet.  Endpoints
+        # carry precomputed hashes, keeping the lookup cheap; FIFO
+        # floors are tracked under small interned ints so the hot path
+        # never hashes a (src_ip, dst_ip, protocol) triple.
+        self._path_cache: Dict[tuple, tuple] = {}
+        self._fifo_ids: Dict[tuple, int] = {}
+        # Jitter draws come from the stream in blocks: ``random(n)``
+        # yields the exact doubles ``n`` scalar draws would (pinned by a
+        # unit test), so buffering is invisible to golden traces.
+        self._jitter_buf: list = []
+        self._jitter_idx = 0
+        # _last_delivery floors are useless once simulated time passes
+        # them; prune opportunistically so the dict does not keep one
+        # entry per (src, dst, protocol) path for a fleet-length run.
+        self._prune_at = 64
 
     # -- topology -------------------------------------------------------
     def attach(self, host: Host) -> Host:
@@ -146,6 +165,7 @@ class Network:
             raise NetworkError(f"duplicate host IP {host.ip}")
         self._hosts[host.ip] = host
         host.attached(self)
+        self._path_cache.clear()
         return host
 
     def add_alias(self, host: Host, ip: IPv4Address) -> None:
@@ -157,6 +177,7 @@ class Network:
             raise NetworkError("attach the host before adding aliases")
         self._hosts[ip] = host
         host.aliases.add(ip)
+        self._path_cache.clear()
 
     def host_for(self, ip: IPv4Address) -> Host:
         """The host owning ``ip``."""
@@ -176,10 +197,12 @@ class Network:
         if tap.ip not in self._hosts:
             raise NetworkError("tap host must be attached to the network first")
         self._taps[covered_ip] = tap
+        self._path_cache.clear()
 
     def remove_tap(self, covered_ip: IPv4Address) -> None:
         """Stop diverting an IP's traffic."""
         self._taps.pop(covered_ip, None)
+        self._path_cache.clear()
 
     def add_observer(self, observer: PacketObserver) -> None:
         """Observe every delivered packet: ``observer(packet, "lan"|"wan")``."""
@@ -193,20 +216,96 @@ class Network:
         delivered to the tap *unless the tap itself is the origin* —
         packets a tap re-injects go straight to their true destination.
         """
-        packet.send_time = self.sim.now
-        target = self._route(origin, packet)
-        crosses_wan = not (packet.src.ip.is_private and packet.dst.ip.is_private)
+        if self._legacy:
+            self._send_legacy(origin, packet)
+            return
+        sim = self.sim
+        now = sim._clock._now
+        packet.send_time = now
+        key = (origin.ip, packet.src, packet.dst)
+        path_cache = self._path_cache
+        path = path_cache.get(key)
+        if path is None:
+            if len(path_cache) >= 4096:
+                # Ephemeral ports make the key space unbounded on a
+                # fleet-length run; recomputing after a wholesale wipe
+                # is cheaper than tracking per-entry staleness.
+                path_cache.clear()
+            path = self._path_for(origin, packet)
+            path_cache[key] = path
+        target, crosses_wan, base, fifo_id, scope = path
         if crosses_wan and self.wan_loss > 0.0 and self._loss_rng.random() < self.wan_loss:
             # Lost in transit; TCP's retransmission handles recovery.
             self.packets_lost += 1
             return
-        latency = self._latency(origin.ip, target.ip)
+        jitter_idx = self._jitter_idx
+        if jitter_idx >= len(self._jitter_buf):
+            self._jitter_buf = self._rng.random(256).tolist()
+            jitter_idx = 0
+        self._jitter_idx = jitter_idx + 1
+        latency = base * (1.0 + self.jitter * self._jitter_buf[jitter_idx])
         # Per-path FIFO: jitter never reorders packets of one flow pair,
         # matching TCP's in-order delivery (and single-path reality).
+        last_delivery = self._last_delivery
+        arrival = now + latency
+        floor = last_delivery.get(fifo_id, 0.0) + 1e-6
+        if arrival < floor:
+            arrival = floor
+        last_delivery[fifo_id] = arrival
+        if len(last_delivery) >= self._prune_at:
+            self._prune_delivery_floors(now)
+        # Arrival is never before `now`, so the schedule-in-the-past
+        # validation in Simulator.post_at is skipped on this hot path.
+        sim._queue.post(arrival, self._deliver, (packet, target, scope))
+
+    def _send_legacy(self, origin: Host, packet: Packet) -> None:
+        """The pre-PR send path, kept verbatim as the benchmark
+        baseline: per-packet routing and RFC1918 checks, scalar jitter
+        draws, a cancellable heap entry per delivery, and no floor
+        pruning (see :mod:`repro.sim.compat`)."""
+        packet.send_time = self.sim.now
+        target = self._route(origin, packet)
+        crosses_wan = not (
+            _is_private_uncached(packet.src.ip) and _is_private_uncached(packet.dst.ip)
+        )
+        if crosses_wan and self.wan_loss > 0.0 and self._loss_rng.random() < self.wan_loss:
+            self.packets_lost += 1
+            return
+        latency = self._latency(origin.ip, target.ip)
         key = (packet.src.ip, packet.dst.ip, packet.protocol)
         arrival = max(self.sim.now + latency, self._last_delivery.get(key, 0.0) + 1e-6)
         self._last_delivery[key] = arrival
         self.sim.schedule_at(arrival, self._deliver, packet, target)
+
+    def _path_for(self, origin: Host, packet: Packet) -> tuple:
+        """Resolve everything about a path that only depends on the
+        (origin, src, dst) key: the delivery target, whether the WAN
+        loss model applies, the base hop latency, the interned FIFO
+        floor id, and the observer scope label."""
+        target = self._route(origin, packet)
+        local = packet.src.ip.is_private and packet.dst.ip.is_private
+        base = (
+            self.lan_latency
+            if (origin.ip.is_private and target.ip.is_private)
+            else self.wan_latency
+        )
+        fifo_triple = (packet.src.ip, packet.dst.ip, packet.protocol)
+        fifo_id = self._fifo_ids.setdefault(fifo_triple, len(self._fifo_ids))
+        return (target, not local, base, fifo_id, "lan" if local else "wan")
+
+    def _prune_delivery_floors(self, now: float) -> None:
+        """Drop FIFO floors that simulated time has already passed.
+
+        A floor at ``last <= now - 1e-6`` cannot raise any future
+        arrival (every new arrival is at least ``now``), so the entry is
+        dead weight.  The threshold doubles with the surviving size, so
+        pruning stays O(1) amortized per send.
+        """
+        stale = now - 1e-6
+        last_delivery = self._last_delivery
+        for key in [k for k, t in last_delivery.items() if t <= stale]:
+            del last_delivery[key]
+        self._prune_at = max(64, 2 * len(last_delivery))
 
     def _route(self, origin: Host, packet: Packet) -> Host:
         for covered_ip in (packet.src.ip, packet.dst.ip):
@@ -216,15 +315,34 @@ class Network:
         return self.host_for(packet.dst.ip)
 
     def _latency(self, a: IPv4Address, b: IPv4Address) -> float:
-        base = self.lan_latency if (a.is_private and b.is_private) else self.wan_latency
+        base = (
+            self.lan_latency
+            if (_is_private_uncached(a) and _is_private_uncached(b))
+            else self.wan_latency
+        )
         return base * (1.0 + self.jitter * float(self._rng.random()))
 
-    def _deliver(self, packet: Packet, target: Host) -> None:
+    def _deliver(self, packet: Packet, target: Host, scope: Optional[str] = None) -> None:
         self.delivered_count += 1
-        scope = "lan" if (packet.src.ip.is_private and packet.dst.ip.is_private) else "wan"
+        if scope is None:
+            scope = "lan" if (packet.src.ip.is_private and packet.dst.ip.is_private) else "wan"
         for observer in self._observers:
             observer(packet, scope)
         if isinstance(target, TapHost) and packet.dst.ip != target.ip:
             target.intercept(packet)
         else:
             target.receive(packet)
+
+
+def _is_private_uncached(ip: IPv4Address) -> bool:
+    """The pre-PR per-call RFC1918 check (re-parses the dotted quad).
+
+    Only the legacy benchmark baseline uses it, so the cost the cached
+    :attr:`IPv4Address.is_private` removed stays measurable.
+    """
+    octets = [int(part) for part in ip.text.split(".")]
+    if octets[0] == 10:
+        return True
+    if octets[0] == 192 and octets[1] == 168:
+        return True
+    return octets[0] == 172 and 16 <= octets[1] <= 31

@@ -29,6 +29,21 @@ from repro.errors import ConnectionClosedError, NetworkError
 from repro.net.addresses import Endpoint
 from repro.net.link import Host
 from repro.net.packet import Packet, Protocol, TcpFlags, TlsRecordType
+from repro.sim import compat
+from repro.sim.process import DeadlineTimer
+
+# Integer flag masks and pre-built combinations: ``enum.Flag``'s
+# ``__contains__`` / ``__or__`` dominate the per-segment profile, while
+# one ``.value`` read plus int ``&`` per check does not.
+_SYN = TcpFlags.SYN.value
+_ACK = TcpFlags.ACK.value
+_FIN = TcpFlags.FIN.value
+_RST = TcpFlags.RST.value
+_KEEPALIVE = TcpFlags.KEEPALIVE.value
+_SYN_ACK = TcpFlags.SYN | TcpFlags.ACK
+_PSH_ACK = TcpFlags.PSH | TcpFlags.ACK
+_FIN_ACK = TcpFlags.FIN | TcpFlags.ACK
+_KEEPALIVE_ACK = TcpFlags.KEEPALIVE | TcpFlags.ACK
 
 
 class TcpState(enum.Enum):
@@ -42,13 +57,41 @@ class TcpState(enum.Enum):
     CLOSE_WAIT = "close_wait"
 
 
-@dataclass
 class _Unacked:
-    """A sent-but-unacknowledged segment awaiting ACK or retransmit."""
+    """A sent-but-unacknowledged segment awaiting ACK or retransmit.
 
-    seq_end: int
-    packet: Packet
-    retries: int = 0
+    Instances never escape their connection, so they are recycled
+    through a small free list (:func:`_unacked_acquire` /
+    :func:`_unacked_release`) instead of being allocated per data
+    segment.
+    """
+
+    __slots__ = ("seq_end", "packet", "retries")
+
+    def __init__(self, seq_end: int = 0, packet: Optional[Packet] = None, retries: int = 0) -> None:
+        self.seq_end = seq_end
+        self.packet = packet
+        self.retries = retries
+
+
+_UNACKED_POOL: List[_Unacked] = []
+_UNACKED_POOL_MAX = 256
+
+
+def _unacked_acquire(seq_end: int, packet: Packet) -> _Unacked:
+    if _UNACKED_POOL:
+        segment = _UNACKED_POOL.pop()
+        segment.seq_end = seq_end
+        segment.packet = packet
+        segment.retries = 0
+        return segment
+    return _Unacked(seq_end, packet)
+
+
+def _unacked_release(segment: _Unacked) -> None:
+    if len(_UNACKED_POOL) < _UNACKED_POOL_MAX:
+        segment.packet = None  # do not retain the packet via the pool
+        _UNACKED_POOL.append(segment)
 
 
 @dataclass
@@ -99,7 +142,15 @@ class TcpConnection:
         self._unacked: List[_Unacked] = []
         self._out_of_order: dict = {}  # seq -> data packet awaiting gap fill
         self._recovering = False
+        network = stack.host.network
+        self._sim = network.sim if network is not None else None
+        # Fast kernel: a deadline-bumping RTO timer (zero heap traffic
+        # per advancing ACK).  Legacy: the pre-PR cancel + re-push
+        # handle churn, kept for the benchmark baseline.
+        self._legacy = compat.legacy_kernel_enabled()
+        self._rto_timer: Optional[DeadlineTimer] = None
         self._rto_handle = None
+        self._keepalive_timer: Optional[DeadlineTimer] = None
         self._keepalive_handle = None
         self._probes_sent = 0
         self._last_rx_time = 0.0
@@ -112,7 +163,10 @@ class TcpConnection:
     @property
     def sim(self):
         """The simulator this connection runs on."""
-        return self.stack.host.network.sim
+        sim = self._sim
+        if sim is None:
+            sim = self._sim = self.stack.host.network.sim
+        return sim
 
     @property
     def four_tuple(self) -> Tuple[Endpoint, Endpoint]:
@@ -150,7 +204,7 @@ class TcpConnection:
                 f"send on {self.local}->{self.remote} in state {self.state.value}"
             )
         packet = self._make_packet(
-            flags=TcpFlags.PSH | TcpFlags.ACK,
+            flags=_PSH_ACK,
             payload_len=payload_len,
             tls_type=tls_type,
             tls_record_seq=tls_record_seq,
@@ -159,7 +213,7 @@ class TcpConnection:
             packet.meta.update(meta)
         self.snd_next += payload_len
         self.bytes_sent += payload_len
-        self._unacked.append(_Unacked(seq_end=self.snd_next, packet=packet))
+        self._unacked.append(_unacked_acquire(self.snd_next, packet))
         self._transmit(packet)
         self._arm_rto()
         return packet
@@ -167,7 +221,7 @@ class TcpConnection:
     def close(self) -> None:
         """Orderly local close (FIN)."""
         if self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT, TcpState.SYN_RCVD):
-            self._transmit(self._make_packet(flags=TcpFlags.FIN | TcpFlags.ACK))
+            self._transmit(self._make_packet(flags=_FIN_ACK))
             previous = self.state
             self.state = TcpState.FIN_WAIT
             if previous is TcpState.CLOSE_WAIT:
@@ -184,19 +238,28 @@ class TcpConnection:
     # -- receiving ------------------------------------------------------
     def handle(self, packet: Packet) -> None:
         """Process one inbound packet for this connection."""
-        self._last_rx_time = self.sim.now
+        self._last_rx_time = now = self.sim._clock._now
         self._probes_sent = 0
-        flags = packet.flags
+        # Bump the idle deadline instead of letting the keepalive wake
+        # up every <idle> seconds just to discover traffic arrived and
+        # re-arm — on a heartbeating connection that wander loop is one
+        # pure-bookkeeping callback per heartbeat.  Bumping a deadline
+        # is a float store (no heap traffic, see DeadlineTimer), and
+        # the callback now only runs when the link is genuinely idle.
+        timer = self._keepalive_timer
+        if timer is not None and timer._deadline is not None:
+            timer.schedule_at(now + self.tuning.keepalive_idle)
+        flag_bits = packet.flags.value
 
-        if TcpFlags.RST in flags:
+        if flag_bits & _RST:
             self._finish("rst")
             return
 
         if self.state is TcpState.SYN_SENT:
-            if TcpFlags.SYN in flags and TcpFlags.ACK in flags:
+            if flag_bits & _SYN and flag_bits & _ACK:
                 self.state = TcpState.ESTABLISHED
                 self._cancel_rto()
-                self._unacked.clear()
+                self._clear_unacked()
                 self._transmit(self._make_packet(flags=TcpFlags.ACK))
                 self._arm_keepalive()
                 if self.on_established:
@@ -204,7 +267,7 @@ class TcpConnection:
             return
 
         if self.state is TcpState.SYN_RCVD:
-            if TcpFlags.ACK in flags:
+            if flag_bits & _ACK:
                 self.state = TcpState.ESTABLISHED
                 self._arm_keepalive()
                 if self.on_established:
@@ -213,23 +276,23 @@ class TcpConnection:
             if packet.payload_len == 0:
                 return
 
-        if TcpFlags.KEEPALIVE in flags:
+        if flag_bits & _KEEPALIVE:
             # Answer the probe with a bare ACK.
             self._transmit(self._make_packet(flags=TcpFlags.ACK))
             return
 
-        if TcpFlags.ACK in flags:
+        if flag_bits & _ACK:
             self._process_ack(packet.ack)
 
         if packet.payload_len > 0:
             self._receive_data(packet)
 
-        if TcpFlags.FIN in flags:
+        if flag_bits & _FIN:
             if self.state is TcpState.ESTABLISHED:
                 self.state = TcpState.CLOSE_WAIT
                 self._transmit(self._make_packet(flags=TcpFlags.ACK))
                 # Consumer devices close promptly in response.
-                self._transmit(self._make_packet(flags=TcpFlags.FIN | TcpFlags.ACK))
+                self._transmit(self._make_packet(flags=_FIN_ACK))
                 self._finish("fin")
             elif self.state is TcpState.FIN_WAIT:
                 self._transmit(self._make_packet(flags=TcpFlags.ACK))
@@ -256,7 +319,9 @@ class TcpConnection:
         )
 
     def _transmit(self, packet: Packet) -> None:
-        self.stack.host.send(packet)
+        # Inlined Host.send: one Python frame per packet matters here.
+        host = self.stack.host
+        host.network.send(host, packet)
 
     def _receive_data(self, packet: Packet) -> None:
         """In-order delivery with reordering and duplicate suppression.
@@ -285,21 +350,47 @@ class TcpConnection:
             self.on_record(self, packet)
 
     def _process_ack(self, ack: int) -> None:
-        before = len(self._unacked)
-        self._unacked = [seg for seg in self._unacked if seg.seq_end > ack]
-        if len(self._unacked) != before:
-            if self._unacked:
-                self._arm_rto(restart=True)
-                if self._recovering:
-                    # Go-back-N style recovery: once an ACK confirms a
-                    # retransmission landed, resend the next hole right
-                    # away instead of waiting a full RTO.
-                    self._retransmit_head()
-            else:
-                self._recovering = False
-                self._cancel_rto()
+        unacked = self._unacked
+        if not unacked:
+            return
+        # seq_end values are strictly increasing (appends follow
+        # snd_next), so acknowledged segments form a prefix.
+        cleared = 0
+        total = len(unacked)
+        while cleared < total and unacked[cleared].seq_end <= ack:
+            cleared += 1
+        if cleared == 0:
+            return
+        for i in range(cleared):
+            _unacked_release(unacked[i])
+        del unacked[:cleared]
+        if unacked:
+            self._arm_rto(restart=True)
+            if self._recovering:
+                # Go-back-N style recovery: once an ACK confirms a
+                # retransmission landed, resend the next hole right
+                # away instead of waiting a full RTO.
+                self._retransmit_head()
+        else:
+            self._recovering = False
+            self._cancel_rto()
+
+    def _clear_unacked(self) -> None:
+        unacked = self._unacked
+        for segment in unacked:
+            _unacked_release(segment)
+        unacked.clear()
 
     def _arm_rto(self, restart: bool = False) -> None:
+        if not self._legacy:
+            timer = self._rto_timer
+            if timer is None:
+                timer = self._rto_timer = DeadlineTimer(self.sim, self._on_rto)
+            if restart or not timer.armed:
+                timer.schedule_in(self.tuning.rto)
+            return
+        # Legacy (pre-PR) path: cancel + re-push a heap entry per
+        # advancing ACK — the timer-churn leak the benchmark measures.
         if self._rto_handle is not None:
             if not restart:
                 return
@@ -307,6 +398,8 @@ class TcpConnection:
         self._rto_handle = self.sim.schedule(self.tuning.rto, self._on_rto)
 
     def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
         if self._rto_handle is not None:
             self._rto_handle.cancel()
             self._rto_handle = None
@@ -347,11 +440,21 @@ class TcpConnection:
         self._transmit(retransmit)
 
     def _arm_keepalive(self) -> None:
+        self._schedule_keepalive(self.tuning.keepalive_idle)
+
+    def _schedule_keepalive(self, delay: float) -> None:
+        if not self._legacy:
+            timer = self._keepalive_timer
+            if timer is None:
+                timer = self._keepalive_timer = DeadlineTimer(
+                    self.sim, self._on_keepalive_timer
+                )
+            timer.schedule_in(delay)
+            return
+        # Legacy (pre-PR) path: a fresh cancellable heap entry per arm.
         if self._keepalive_handle is not None:
             self._keepalive_handle.cancel()
-        self._keepalive_handle = self.sim.schedule(
-            self.tuning.keepalive_idle, self._on_keepalive_timer
-        )
+        self._keepalive_handle = self.sim.schedule(delay, self._on_keepalive_timer)
 
     def _on_keepalive_timer(self) -> None:
         self._keepalive_handle = None
@@ -362,18 +465,14 @@ class TcpConnection:
         if remaining > 1e-6:
             # Traffic arrived since; re-arm for the remainder (floored
             # so float residue cannot freeze simulated time).
-            self._keepalive_handle = self.sim.schedule(
-                max(remaining, 0.05), self._on_keepalive_timer
-            )
+            self._schedule_keepalive(max(remaining, 0.05))
             return
         if self._probes_sent >= self.tuning.keepalive_probes:
             self.abort("timeout")
             return
         self._probes_sent += 1
-        self._transmit(self._make_packet(flags=TcpFlags.KEEPALIVE | TcpFlags.ACK))
-        self._keepalive_handle = self.sim.schedule(
-            self.tuning.keepalive_interval, self._on_keepalive_timer
-        )
+        self._transmit(self._make_packet(flags=_KEEPALIVE_ACK))
+        self._schedule_keepalive(self.tuning.keepalive_interval)
 
     def _finish(self, reason: str) -> None:
         if self.state is TcpState.CLOSED:
@@ -381,10 +480,12 @@ class TcpConnection:
         self.state = TcpState.CLOSED
         self.close_reason = reason
         self._cancel_rto()
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
         if self._keepalive_handle is not None:
             self._keepalive_handle.cancel()
             self._keepalive_handle = None
-        self._unacked.clear()
+        self._clear_unacked()
         self.stack.forget(self)
         if self.on_close:
             self.on_close(self, reason)
@@ -457,7 +558,8 @@ class TcpStack:
         if connection is not None:
             connection.handle(packet)
             return
-        if TcpFlags.SYN in packet.flags and TcpFlags.ACK not in packet.flags:
+        flag_bits = packet.flags.value
+        if flag_bits & _SYN and not flag_bits & _ACK:
             self._accept_syn(packet)
         # Anything else for an unknown connection is silently ignored, as
         # a real host would answer with RST; the simulation has no
@@ -474,9 +576,7 @@ class TcpStack:
         connection.state = TcpState.SYN_RCVD
         self._connections[connection.four_tuple] = connection
         listener.accept(connection)
-        connection._transmit(
-            connection._make_packet(flags=TcpFlags.SYN | TcpFlags.ACK)
-        )
+        connection._transmit(connection._make_packet(flags=_SYN_ACK))
 
     def _next_port(self) -> int:
         self._ephemeral += 1

@@ -1,0 +1,50 @@
+"""Pre-PR kernel compatibility switch.
+
+The sim-kernel optimization PR keeps the old (pre-optimization) kernel
+behaviours runnable so ``benchmarks/bench_sim_kernel.py`` can measure
+the speedup *inside one interpreter* and — more importantly — assert
+that both kernels produce byte-identical guard event streams before any
+timing is trusted.
+
+Legacy mode selects:
+
+* :class:`repro.sim.events.LegacyEventQueue` (per-event ``__lt__``
+  heap, no compaction, no handle-free fast path),
+* the cancel+re-push TCP retransmission timer
+  (:class:`repro.net.tcp.TcpConnection`),
+* ungated motion-sensor polling
+  (:class:`repro.home.devices.MotionSensor`).
+
+The flag is read at *construction* time by each component, so flip it
+before building a scenario, not mid-run.  Production code never touches
+this module; only benchmarks and regression tests do.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_legacy_kernel = False
+
+
+def use_legacy_kernel(enabled: bool) -> None:
+    """Globally select the pre-PR kernel for newly built components."""
+    global _legacy_kernel
+    _legacy_kernel = bool(enabled)
+
+
+def legacy_kernel_enabled() -> bool:
+    """Whether newly built components should use the pre-PR kernel."""
+    return _legacy_kernel
+
+
+@contextmanager
+def legacy_kernel() -> Iterator[None]:
+    """Context manager: build everything inside with the pre-PR kernel."""
+    previous = _legacy_kernel
+    use_legacy_kernel(True)
+    try:
+        yield
+    finally:
+        use_legacy_kernel(previous)

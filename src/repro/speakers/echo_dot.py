@@ -27,6 +27,8 @@ from repro.net.addresses import Endpoint, IPv4Address
 from repro.net.dns import DnsClient
 from repro.net.tcp import TcpConnection, TcpTuning
 from repro.net.tls import TlsSession
+from repro.sim import compat
+from repro.sim.process import DeadlineTimer
 from repro.speakers import signatures as sig
 from repro.speakers.base import InteractionRecord, SmartSpeaker
 from repro.speakers.interaction import EchoTrafficModel
@@ -60,6 +62,7 @@ class EchoDot(SmartSpeaker):
         self._conn: Optional[TcpConnection] = None
         self._tls: Optional[TlsSession] = None
         self._heartbeat_handle = None
+        self._heartbeat_timer = None
         self._pending: List[tuple] = []  # interactions waiting for a connection
         self._reconnect_scheduled = False
         self.reconnect_count = 0
@@ -87,9 +90,9 @@ class EchoDot(SmartSpeaker):
         def on_established(c: TcpConnection) -> None:
             offset = 0.0
             for length in signature:
-                self.sim.schedule(offset, self._send_record, c, tls, length, {})
+                self.sim.post(offset, self._send_record, c, tls, length, {})
                 offset += float(self._rng.uniform(*self.SIGNATURE_GAP))
-            self.sim.schedule(offset + float(self._rng.uniform(2.0, 5.0)), c.close)
+            self.sim.post(offset + float(self._rng.uniform(2.0, 5.0)), c.close)
 
         conn.on_established = on_established
 
@@ -112,7 +115,7 @@ class EchoDot(SmartSpeaker):
         # Announce with the connection signature.
         offset = 0.0
         for length in self.connect_signature:
-            self.sim.schedule(offset, self._send_record, conn, tls, length, {})
+            self.sim.post(offset, self._send_record, conn, tls, length, {})
             offset += float(self._rng.uniform(*self.SIGNATURE_GAP))
         self._schedule_heartbeat()
         # Flush interactions that arrived while disconnected.
@@ -135,11 +138,11 @@ class EchoDot(SmartSpeaker):
             def requery() -> None:
                 self.dns_lookups_for_avs += 1
                 self.dns.resolve(sig.AVS_DOMAIN, self._connect_avs)
-            self.sim.schedule(delay, requery)
+            self.sim.post(delay, requery)
         else:
             # Reconnect using out-of-band endpoint knowledge: the guard
             # sees no DNS query and must rely on the signature.
-            self.sim.schedule(delay, lambda: self._open_avs_connection(self.avs_directory()))
+            self.sim.post(delay, lambda: self._open_avs_connection(self.avs_directory()))
 
     @property
     def connected(self) -> bool:
@@ -148,10 +151,21 @@ class EchoDot(SmartSpeaker):
 
     # -- heartbeats ------------------------------------------------------------
     def _schedule_heartbeat(self) -> None:
+        if not compat.legacy_kernel_enabled():
+            # ~20k heartbeats ride a deadline-bumping timer over a
+            # seven-day run; the handle-per-beat path below is the
+            # pre-PR baseline.
+            timer = self._heartbeat_timer
+            if timer is None:
+                timer = self._heartbeat_timer = DeadlineTimer(self.sim, self._heartbeat)
+            timer.schedule_in(sig.HEARTBEAT_PERIOD)
+            return
         self._cancel_heartbeat()
         self._heartbeat_handle = self.sim.schedule(sig.HEARTBEAT_PERIOD, self._heartbeat)
 
     def _cancel_heartbeat(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
         if self._heartbeat_handle is not None:
             self._heartbeat_handle.cancel()
             self._heartbeat_handle = None
@@ -179,7 +193,7 @@ class EchoDot(SmartSpeaker):
         def mark_upload_busy() -> None:
             self.uploading_until = max(self.uploading_until, self.sim.now + 0.6)
 
-        self.sim.schedule(base + speech_after_activation, mark_upload_busy)
+        self.sim.post(base + speech_after_activation, mark_upload_busy)
         last_index = len(script.records) - 1
         for index, spec in enumerate(script.records):
             meta = dict(spec.meta)
@@ -189,7 +203,7 @@ class EchoDot(SmartSpeaker):
                     "interaction_id": record.interaction_id,
                     "response_segments": segments,
                 })
-            self.sim.schedule(base + spec.offset, self._send_record, conn, tls,
+            self.sim.post(base + spec.offset, self._send_record, conn, tls,
                               spec.length, meta)
 
     def _on_avs_record(self, conn: TcpConnection, packet) -> None:
@@ -206,8 +220,8 @@ class EchoDot(SmartSpeaker):
             elapsed += words / 2.0
             spike = self.traffic.response_spike()
             for spec in spike:
-                self.sim.schedule(elapsed + spec.offset, self._send_on_current, spec.length)
-        self.sim.schedule(elapsed + 0.2, lambda: self.mark_responded(interaction_id))
+                self.sim.post(elapsed + spec.offset, self._send_on_current, spec.length)
+        self.sim.post(elapsed + 0.2, lambda: self.mark_responded(interaction_id))
 
     def _send_on_current(self, length: int) -> None:
         if self.connected and self._tls is not None:

@@ -245,8 +245,12 @@ class TestEventQueueLiveCount:
                 handles[int(rng.integers(len(handles)))].cancel()
             else:
                 queue.pop()
+            # Entries are (time, seq, event) tuples; handle-free post()
+            # entries carry None and are always live.
             live_scan = sum(
-                1 for event in queue._heap if not event.cancelled
+                1
+                for entry in queue._heap
+                if entry[2] is None or not entry[2].cancelled
             )
             assert len(queue) == live_scan
 
