@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Fleet dispatch benchmark: chunked vs one-task-per-submit.
+
+Streams the same 10k-home fleet through the experiment engine under a
+workers x chunk-size sweep of the chunked dispatcher, plus a per-task
+baseline (one home per pool submit) at each worker count.  Before any
+number is trusted, every cell's rendered fleet table is asserted
+byte-identical to the serial run's: chunking, worker count, and
+completion order must not change a single digit of the result.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke
+
+Writes ``benchmarks/results/BENCH_fleet.json``.  The full run enforces
+the >= 5x homes/sec floor for the best chunked cell over the per-task
+baseline at the same worker count; ``--smoke`` (200 homes) exercises
+the whole path and the identity assertions only.
+
+Methodology notes live next to the artifact in
+``benchmarks/results/BENCH_fleet.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+from typing import Dict, List
+
+from repro.experiments.fleet import FleetConfig, run_fleet
+
+SPEEDUP_FLOOR = 5.0  # best chunked cell vs same-workers per-task baseline
+
+FULL_HOMES = 10_000
+SMOKE_HOMES = 200
+WORKER_COUNTS = (2, 4)
+CHUNK_SIZES = (64, 256, 1024)
+
+
+def run_bench(seed: int = 3, smoke: bool = False) -> dict:
+    homes = SMOKE_HOMES if smoke else FULL_HOMES
+    chunk_sizes = (16, 64) if smoke else CHUNK_SIZES
+    config = FleetConfig(homes=homes, shards=8, seed=seed)
+
+    # Reference: the serial streaming run.  Every other cell must
+    # reproduce this table byte-for-byte.
+    reference = run_fleet(config, workers=1)
+    table = reference.render()
+
+    cells: List[dict] = []
+    baselines: Dict[int, dict] = {}
+    mismatches = 0
+    for workers in WORKER_COUNTS:
+        base = run_fleet(config, workers=workers, dispatch="per-task")
+        if base.render() != table:
+            mismatches += 1
+        baselines[workers] = {
+            "workers": workers,
+            "elapsed_s": base.elapsed,
+            "homes_per_sec": base.homes_per_sec,
+            "tasks": base.chunks,
+        }
+        for chunk in chunk_sizes:
+            cell_config = FleetConfig(homes=homes, shards=8, seed=seed,
+                                      chunk_size=chunk)
+            run = run_fleet(cell_config, workers=workers)
+            if run.render() != table:
+                mismatches += 1
+            cells.append({
+                "workers": workers,
+                "chunk_size": chunk,
+                "elapsed_s": run.elapsed,
+                "homes_per_sec": run.homes_per_sec,
+                "tasks": run.chunks,
+                "speedup_vs_per_task":
+                    baselines[workers]["elapsed_s"] / run.elapsed,
+            })
+
+    best = max(cells, key=lambda cell: cell["speedup_vs_per_task"])
+    return {
+        "bench": "fleet_dispatch",
+        "homes": homes,
+        "seed": seed,
+        "smoke": smoke,
+        "serial_elapsed_s": reference.elapsed,
+        "serial_homes_per_sec": reference.homes_per_sec,
+        "per_task_baselines": list(baselines.values()),
+        "chunked_cells": cells,
+        "best_cell": best,
+        "speedup": best["speedup_vs_per_task"],
+        "speedup_floor": SPEEDUP_FLOOR,
+        "tables_identical": mismatches == 0,
+        "table_mismatches": mismatches,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"fleet dispatch bench ({payload['homes']} homes, "
+        f"seed {payload['seed']}):",
+        f"  serial            : {payload['serial_elapsed_s']:.2f}s  "
+        f"({payload['serial_homes_per_sec']:,.0f} homes/sec)",
+    ]
+    for base in payload["per_task_baselines"]:
+        lines.append(
+            f"  per-task  w={base['workers']}     : {base['elapsed_s']:.2f}s  "
+            f"({base['homes_per_sec']:,.0f} homes/sec, "
+            f"{base['tasks']} submits)")
+    for cell in payload["chunked_cells"]:
+        lines.append(
+            f"  chunked   w={cell['workers']} c={cell['chunk_size']:<4}: "
+            f"{cell['elapsed_s']:.2f}s  "
+            f"({cell['homes_per_sec']:,.0f} homes/sec, "
+            f"{cell['speedup_vs_per_task']:.1f}x vs per-task)")
+    best = payload["best_cell"]
+    lines.append(
+        f"  best speedup      : {payload['speedup']:.1f}x "
+        f"(workers={best['workers']}, chunk={best['chunk_size']}; "
+        f"floor {payload['speedup_floor']:.0f}x)")
+    lines.append(
+        f"  tables identical across all cells: {payload['tables_identical']}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="200-home run: checks the path and the table "
+                             "identity assertions, numbers not citable")
+    parser.add_argument("--output",
+                        default="benchmarks/results/BENCH_fleet.json")
+    args = parser.parse_args(argv)
+
+    payload = run_bench(seed=args.seed, smoke=args.smoke)
+    print(render(payload))
+
+    target = pathlib.Path(args.output)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    print(f"(written to {target})")
+
+    if not payload["tables_identical"]:
+        print(f"FAIL: {payload['table_mismatches']} cell(s) rendered a "
+              "different fleet table than the serial reference",
+              file=sys.stderr)
+        return 1
+    if not args.smoke and payload["speedup"] < SPEEDUP_FLOOR:
+        print(f"FAIL: best chunked speedup {payload['speedup']:.1f}x below "
+              f"the {SPEEDUP_FLOOR:.0f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

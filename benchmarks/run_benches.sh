@@ -2,7 +2,8 @@
 # Refresh the committed benchmark artifacts.
 #
 #   benchmarks/run_benches.sh          # kernel benches -> BENCH_rssi.json,
-#                                      # BENCH_sim.json, BENCH_obs.json
+#                                      # BENCH_sim.json, BENCH_obs.json,
+#                                      # BENCH_fleet.json
 #   benchmarks/run_benches.sh --smoke  # same benches at minimal wall time:
 #                                      # exercises the whole path (CI's
 #                                      # bench job), numbers not citable
@@ -28,12 +29,15 @@ if [ "${1:-}" = "--smoke" ]; then
         --output benchmarks/results/BENCH_sim.json
     python benchmarks/bench_obs_overhead.py --smoke \
         --output benchmarks/results/BENCH_obs.json
+    python benchmarks/bench_fleet.py --smoke \
+        --output benchmarks/results/BENCH_fleet.json
     exit 0
 fi
 
 python -m repro bench-rssi --seed 7 --output benchmarks/results/BENCH_rssi.json
 python -m repro bench-sim --seed 11 --output benchmarks/results/BENCH_sim.json
 python benchmarks/bench_obs_overhead.py --output benchmarks/results/BENCH_obs.json
+python benchmarks/bench_fleet.py --output benchmarks/results/BENCH_fleet.json
 
 if [ "${1:-}" = "--all" ]; then
     python -m pytest benchmarks/ -q

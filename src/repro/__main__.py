@@ -6,6 +6,8 @@ Commands
 ``table``       — one of table1 | table2 | table3 | table4
 ``fig``         — one of 3 | 4 | 6 | 7 | 8 | 9 | 10
 ``campaign``    — the multi-home media campaign experiment
+``fleet``       — stream a synthesized fleet of 10k-1M homes (fleet tables)
+``cache``       — experiment-cache stats; ``--prune`` reclaims disk
 ``endurance``   — the hold-endurance sweep
 ``resilience``  — fault rate x retry policy sweep (availability under faults)
 ``trace``       — run one traced scenario; waterfall + phase timings from spans
@@ -99,6 +101,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(run_campaign(homes=args.homes, seed=args.seed,
                        workers=args.workers,
                        use_cache=not args.no_cache).render())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.experiments.fleet import FleetConfig, run_fleet
+    from repro.experiments.synthesis import PopulationModel
+
+    population = PopulationModel(attack_prevalence=args.attack_prevalence)
+    config = FleetConfig(
+        homes=args.homes,
+        shards=args.shards,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        fidelity=args.fidelity,
+        population=population,
+    )
+    result = run_fleet(config, workers=args.workers, dispatch=args.dispatch,
+                       window=args.window)
+    print(result.render())
+    print(result.render_throughput(), file=sys.stderr)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(result.render() + "\n",
+                                             encoding="utf-8")
+        print(f"(written to {args.output})")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import cache_stats, prune_cache
+
+    if args.prune:
+        report = prune_cache(cache_dir=args.cache_dir,
+                             keep_days=args.keep_days)
+        print(f"cache {report['path']}: removed {report['removed']} entries, "
+              f"reclaimed {report['bytes_reclaimed']:,} bytes "
+              f"({report['kept']} kept)")
+        return 0
+    stats = cache_stats(cache_dir=args.cache_dir)
+    print(f"cache {stats['path']}: {stats['entries']} entries, "
+          f"{stats['bytes']:,} bytes")
     return 0
 
 
@@ -246,6 +290,46 @@ def build_parser() -> argparse.ArgumentParser:
                               help="multi-home media campaign")
     campaign.add_argument("--homes", type=int, default=6)
     campaign.set_defaults(func=_cmd_campaign)
+
+    fleet = sub.add_parser(
+        "fleet", parents=[common, parallel],
+        help="stream a synthesized fleet of homes through the engine; "
+             "constant memory at any size, table identical at any "
+             "worker count / chunking / shard order")
+    fleet.add_argument("--homes", type=int, default=10000,
+                       help="fleet size (10k runs in seconds; 1M is fine)")
+    fleet.add_argument("--shards", type=int, default=8,
+                       help="seed-derivation shards; a home's draws depend "
+                            "only on (seed, shard, offset)")
+    fleet.add_argument("--chunk-size", type=int, default=256,
+                       help="homes per pool task (amortizes dispatch cost)")
+    fleet.add_argument("--dispatch", choices=["chunked", "per-task"],
+                       default="chunked",
+                       help="per-task = one home per pool submit "
+                            "(the benchmark baseline)")
+    fleet.add_argument("--fidelity", choices=["fast", "full"], default="fast",
+                       help="fast = reduced-order home model; full = "
+                            "packet-level scenario per home (validation only)")
+    fleet.add_argument("--attack-prevalence", type=float, default=0.25,
+                       help="fraction of homes the campaign reaches")
+    fleet.add_argument("--window", type=int, default=None,
+                       help="max in-flight pool tasks (default 4x workers)")
+    fleet.add_argument("--output", default=None,
+                       help="also write the fleet tables here")
+    fleet.set_defaults(func=_cmd_fleet)
+
+    cache = sub.add_parser(
+        "cache",
+        help="experiment result-cache stats; --prune reclaims disk")
+    cache.add_argument("--prune", action="store_true",
+                       help="delete cache entries (all, or older than "
+                            "--keep-days) and report bytes reclaimed")
+    cache.add_argument("--keep-days", type=float, default=None,
+                       help="with --prune: keep entries younger than this")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache location (default $REPRO_CACHE_DIR or "
+                            "~/.cache/repro/experiments)")
+    cache.set_defaults(func=_cmd_cache)
 
     endurance = sub.add_parser("endurance", parents=[common, parallel],
                                help="hold-endurance sweep")

@@ -31,15 +31,20 @@ import concurrent.futures
 import dataclasses
 import enum
 import hashlib
+import logging
 import multiprocessing
 import os
 import pathlib
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple,
+)
 
 from repro.errors import ExperimentError
+
+log = logging.getLogger(__name__)
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -115,12 +120,19 @@ class ExperimentTask:
     ``fn`` must be importable by name (no lambdas/closures) so the task
     can cross a process boundary; its arguments and return value must
     be picklable.
+
+    ``cacheable=False`` opts a task out of the on-disk result cache
+    entirely — no lookup, no write — even when the engine runs with
+    ``use_cache=True``.  Fleet workloads set it: a million per-chunk
+    cache entries would turn the content-addressed cache into a disk
+    leak for results that are cheaper to recompute than to read back.
     """
 
     fn: Callable[..., Any]
     args: Tuple[object, ...] = ()
     kwargs: Dict[str, object] = field(default_factory=dict)
     label: str = ""
+    cacheable: bool = True
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -157,6 +169,67 @@ def resolve_cache_dir(cache_dir: Optional[os.PathLike] = None) -> pathlib.Path:
     if env:
         return pathlib.Path(env)
     return pathlib.Path.home() / ".cache" / "repro" / "experiments"
+
+
+def cache_stats(cache_dir: Optional[os.PathLike] = None) -> Dict[str, object]:
+    """Entry count and byte total of the on-disk result cache."""
+    directory = resolve_cache_dir(cache_dir)
+    entries = 0
+    total_bytes = 0
+    if directory.is_dir():
+        for path in directory.iterdir():
+            if not path.is_file():
+                continue
+            if path.suffix != ".pkl" and ".tmp." not in path.name:
+                continue
+            try:
+                total_bytes += path.stat().st_size
+                entries += 1
+            except OSError:
+                continue
+    return {"path": str(directory), "entries": entries, "bytes": total_bytes}
+
+
+def prune_cache(
+    cache_dir: Optional[os.PathLike] = None,
+    keep_days: Optional[float] = None,
+) -> Dict[str, object]:
+    """Delete cached results, reporting the bytes reclaimed.
+
+    ``keep_days`` keeps entries modified within the last N days;
+    without it the whole cache goes.  Stale ``.tmp.<pid>`` spill files
+    from interrupted writes are always removed.  The cache is
+    content-addressed (arguments + code-version tag), so pruning can
+    never make a later run incorrect — only slower.
+    """
+    directory = resolve_cache_dir(cache_dir)
+    removed = 0
+    reclaimed = 0
+    kept = 0
+    if directory.is_dir():
+        cutoff = None if keep_days is None else time.time() - keep_days * 86400.0
+        for path in sorted(directory.iterdir()):
+            if not path.is_file():
+                continue
+            is_tmp = ".tmp." in path.name
+            if path.suffix != ".pkl" and not is_tmp:
+                continue
+            try:
+                stat = path.stat()
+                if cutoff is not None and not is_tmp and stat.st_mtime >= cutoff:
+                    kept += 1
+                    continue
+                path.unlink()
+                removed += 1
+                reclaimed += stat.st_size
+            except OSError:
+                kept += 1
+    return {
+        "path": str(directory),
+        "removed": removed,
+        "bytes_reclaimed": reclaimed,
+        "kept": kept,
+    }
 
 
 def _pool_invoke(fn: Callable[..., Any], args: tuple, kwargs: dict) -> Tuple[object, float]:
@@ -236,7 +309,7 @@ class ExperimentEngine:
         results: List[object] = [None] * len(tasks)
         pending: List[int] = []
         for index, task in enumerate(tasks):
-            if self.use_cache:
+            if self.use_cache and task.cacheable:
                 hit, value = self._cache_load(task)
                 if hit:
                     results[index] = value
@@ -256,7 +329,7 @@ class ExperimentEngine:
 
     def _finish(self, task: ExperimentTask, value: object, elapsed: float) -> None:
         self.timings.append(TaskTiming(task.label, elapsed, workers=self.workers))
-        if self.use_cache:
+        if self.use_cache and task.cacheable:
             self._cache_store(task, value)
 
     def _run_serial(self, tasks, pending, results) -> None:
@@ -268,15 +341,18 @@ class ExperimentEngine:
             results[index] = value
             self._finish(task, value, time.perf_counter() - start)
 
-    def _run_pool(self, tasks, pending, results) -> None:
+    def _make_pool(self, width: int) -> concurrent.futures.ProcessPoolExecutor:
         # Fork start-up is near-free and inherits imported modules; fall
         # back to the platform default (spawn) where fork is unavailable.
         context = None
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending)), mp_context=context,
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=width, mp_context=context,
         )
+
+    def _run_pool(self, tasks, pending, results) -> None:
+        pool = self._make_pool(min(self.workers, len(pending)))
         futures = {}
         try:
             for index in pending:
@@ -285,25 +361,133 @@ class ExperimentEngine:
                 futures[pool.submit(_pool_invoke, task.fn, task.args,
                                     dict(task.kwargs))] = index
             done = 0
-            for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                task = tasks[index]
-                try:
-                    value, elapsed = future.result()
-                except concurrent.futures.process.BrokenProcessPool as exc:
-                    raise ExperimentError(
-                        f"worker crashed while running {task.label!r} "
-                        f"(pool of {self.workers} broken): {exc}"
-                    ) from exc
-                results[index] = value
-                self._finish(task, value, elapsed)
-                done += 1
-                self._emit(f"finished {task.label} "
-                           f"({done}/{len(pending)}, {elapsed:.1f}s)")
+            while futures:
+                ready, _ = concurrent.futures.wait(
+                    futures, return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in ready:
+                    # Dropping the future releases the engine's handle on
+                    # the pickled result as soon as it lands in `results`.
+                    index = futures.pop(future)
+                    task = tasks[index]
+                    try:
+                        value, elapsed = future.result()
+                    except concurrent.futures.process.BrokenProcessPool as exc:
+                        raise ExperimentError(
+                            f"worker crashed while running {task.label!r} "
+                            f"(pool of {self.workers} broken): {exc}"
+                        ) from exc
+                    results[index] = value
+                    self._finish(task, value, elapsed)
+                    done += 1
+                    self._emit(f"finished {task.label} "
+                               f"({done}/{len(pending)}, {elapsed:.1f}s)")
         finally:
             # cancel_futures stops queued tasks after a failure; waiting
             # joins the workers so nothing lingers past the run.
             pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- streaming execution ------------------------------------------------
+    def run_fold(
+        self,
+        tasks: Iterable[ExperimentTask],
+        fold: Callable[[Any, object, ExperimentTask], Any],
+        initial: Any = None,
+        window: Optional[int] = None,
+    ) -> Tuple[Any, int]:
+        """Stream ``tasks`` through the engine with constant memory.
+
+        ``tasks`` may be any iterable — a generator over a million
+        chunks never materializes a task list, and each completed
+        result is folded into the accumulator via
+        ``fold(accumulator, result, task)`` and then *released*: the
+        engine holds at most ``window`` tasks in flight (default
+        ``4 * workers``) and never a per-task result list.
+
+        Returns ``(accumulator, task_count)``.
+
+        Serially (``workers=1``) results fold in submission order; on a
+        pool they fold in *completion* order, so ``fold`` must be
+        commutative and associative for the outcome to be independent
+        of worker count — the fleet reducers (integer counters,
+        mergeable sketches, :func:`repro.obs.metrics.merge_snapshots`)
+        all are.
+        """
+        accumulator = initial
+        count = 0
+        iterator: Iterator[ExperimentTask] = iter(tasks)
+
+        if self.workers <= 1:
+            for task in iterator:
+                value = self._fold_one_serial(task)
+                accumulator = fold(accumulator, value, task)
+                count += 1
+            return accumulator, count
+
+        window = window if window and window > 0 else 4 * self.workers
+        pool = self._make_pool(self.workers)
+        in_flight: Dict[concurrent.futures.Future, ExperimentTask] = {}
+        try:
+            while True:
+                # Top up to the backpressure window; cache hits fold
+                # immediately without occupying a slot.
+                while len(in_flight) < window:
+                    task = next(iterator, None)
+                    if task is None:
+                        break
+                    if self.use_cache and task.cacheable:
+                        hit, value = self._cache_load(task)
+                        if hit:
+                            self.cache_hits += 1
+                            self.timings.append(TaskTiming(
+                                task.label, 0.0, cache_hit=True,
+                                workers=self.workers))
+                            accumulator = fold(accumulator, value, task)
+                            count += 1
+                            continue
+                        self.cache_misses += 1
+                    self._emit(f"running {task.label}...")
+                    in_flight[pool.submit(_pool_invoke, task.fn, task.args,
+                                          dict(task.kwargs))] = task
+                if not in_flight:
+                    break
+                ready, _ = concurrent.futures.wait(
+                    in_flight, return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in ready:
+                    task = in_flight.pop(future)
+                    try:
+                        value, elapsed = future.result()
+                    except concurrent.futures.process.BrokenProcessPool as exc:
+                        raise ExperimentError(
+                            f"worker crashed while running {task.label!r} "
+                            f"(pool of {self.workers} broken): {exc}"
+                        ) from exc
+                    self._finish(task, value, elapsed)
+                    accumulator = fold(accumulator, value, task)
+                    count += 1
+                    self._emit(f"folded {task.label} ({count} done, "
+                               f"{elapsed:.1f}s)")
+                    del value
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return accumulator, count
+
+    def _fold_one_serial(self, task: ExperimentTask) -> object:
+        if self.use_cache and task.cacheable:
+            hit, value = self._cache_load(task)
+            if hit:
+                self.cache_hits += 1
+                self.timings.append(TaskTiming(task.label, 0.0, cache_hit=True,
+                                               workers=self.workers))
+                self._emit(f"cached {task.label}")
+                return value
+            self.cache_misses += 1
+        self._emit(f"running {task.label}...")
+        start = time.perf_counter()
+        value = task.execute()
+        self._finish(task, value, time.perf_counter() - start)
+        return value
 
 
 def run_tasks(
@@ -323,13 +507,25 @@ def collect_metric_snapshots(results: Sequence[object]) -> List[dict]:
     """Pull ``metrics`` snapshots out of heterogeneous task results.
 
     Results without a snapshot (older cache entries, tasks that don't
-    collect metrics) are simply skipped, so a mixed batch still folds.
+    collect metrics) are skipped so a mixed batch still folds — but no
+    longer *silently*: a counted warning is logged, because a fleet
+    aggregation that quietly dropped homes would under-report every
+    population metric downstream.
     """
     snapshots: List[dict] = []
+    missing = 0
     for result in results:
         snapshot = getattr(result, "metrics", None)
         if snapshot is None and isinstance(result, dict):
             snapshot = result.get("metrics")
         if isinstance(snapshot, dict):
             snapshots.append(snapshot)
+        else:
+            missing += 1
+    if missing:
+        log.warning(
+            "collect_metric_snapshots: %d of %d results carried no metrics "
+            "snapshot; the merged metrics under-report by those runs",
+            missing, len(results),
+        )
     return snapshots

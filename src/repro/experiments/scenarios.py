@@ -100,6 +100,7 @@ def build_scenario(
     with_guard: bool = True,
     fault_plan: Optional[FaultPlan] = None,
     tracing: bool = False,
+    testbed: Optional[Testbed] = None,
 ) -> Scenario:
     """Build a fully wired scenario.
 
@@ -109,10 +110,13 @@ def build_scenario(
     arms the environment's fault injector (see :mod:`repro.faults`);
     without one, every injection hook is a no-op.  ``tracing`` turns on
     span collection (``env.obs.tracer``); it never changes a run.
+    ``testbed`` substitutes a pre-built (e.g. geometrically jittered)
+    testbed for the named one; ``testbed_name`` still labels the run.
     """
     if speaker_kind not in ("echo", "google"):
         raise WorkloadError(f"unknown speaker kind {speaker_kind!r}")
-    testbed = testbed_by_name(testbed_name)
+    if testbed is None:
+        testbed = testbed_by_name(testbed_name)
     env = HomeEnvironment(testbed, deployment=deployment, seed=seed,
                           fault_plan=fault_plan, tracing=tracing)
     network = Network(env.sim, env.rng)

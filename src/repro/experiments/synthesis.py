@@ -1,0 +1,372 @@
+"""Home synthesis for fleet-scale simulation.
+
+The paper evaluates VoiceGuard on three physical testbeds.  A city
+does not contain three homes; it contains hundreds of thousands of
+*variations* of them.  This module samples that population: every home
+is a :class:`HomeSpec` — a small, picklable, purely-parametric
+description drawn deterministically from a base seed via
+:func:`repro.experiments.parallel.derive_seed` — covering:
+
+* **floor-plan jitter** — the base testbed geometry scaled in x/y by a
+  factor drawn from a small *quantized* set.  Quantization is a
+  deliberate design point: workers memoize the expensive world build
+  (floor plan, wall array, propagation fields, calibration surface)
+  per ``(testbed, deployment, scale)`` bucket, so a million homes
+  reuse a few dozen worlds while still spanning small-apartment to
+  large-house geometry;
+* **device mixes** — owner counts and smartphone/smartwatch carry;
+* **occupancy schedules** — how many commands a home issues and how
+  often its owners are away from the speaker's room;
+* **attack prevalence** — which homes a campaign actually reaches,
+  and with how many payloads;
+* **per-home RF/operational diversity** — calibration-margin jitter
+  and home-network push-loss quality.
+
+Seed derivation is *sharded*: home ``offset`` of shard ``s`` draws its
+seed from ``(base, "fleet.home", s, offset)``, so a shard's homes are
+identical no matter which worker runs them, in what order, or in which
+chunking — the property the fleet determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.experiments.parallel import derive_seed
+from repro.radio.floorplan import FLOOR_HEIGHT, Door, FloorPlan, Room, SlabZone
+from repro.radio.geometry import Point
+from repro.radio.propagation import PropagationModel
+from repro.radio.testbeds import Testbed, WalkRoute, testbed_by_name
+
+# Share of each base testbed in the synthesized population.
+DEFAULT_TESTBED_MIX: Tuple[Tuple[str, float], ...] = (
+    ("house", 0.40),
+    ("apartment", 0.35),
+    ("office", 0.25),
+)
+
+# Quantized floor-plan jitter factors (see module docstring).
+DEFAULT_PLAN_SCALES: Tuple[float, ...] = (0.85, 0.925, 1.0, 1.075, 1.15)
+
+# Home-network push quality tiers: most homes are healthy, a fifth are
+# mediocre, a tenth are poor (matching the resilience sweep's axis).
+PUSH_LOSS_TIERS: Tuple[float, ...] = (0.0, 0.02, 0.08)
+PUSH_LOSS_WEIGHTS: Tuple[float, ...] = (0.7, 0.2, 0.1)
+
+
+def _cumulative(pairs) -> Tuple[Tuple[object, float], ...]:
+    """Normalized cumulative weights for a cheap inverse-CDF pick."""
+    pairs = list(pairs)
+    total = float(sum(weight for _, weight in pairs))
+    running = 0.0
+    out = []
+    for value, weight in pairs:
+        running += weight / total
+        out.append((value, running))
+    return tuple(out)
+
+
+_LOSS_CUMULATIVE = _cumulative(zip(PUSH_LOSS_TIERS, PUSH_LOSS_WEIGHTS))
+
+
+@dataclass(frozen=True)
+class HomeSpec:
+    """One synthesized home, fully determined by its parameters.
+
+    Everything a worker needs to simulate the home is here (plus the
+    shared world cache); the spec is tiny and picklable, and two specs
+    with the same fields produce byte-identical outcomes.
+    """
+
+    index: int            # global home index in the fleet
+    shard: int
+    seed: int             # derived per-home seed (all in-home draws)
+    testbed: str
+    deployment: int
+    plan_scale: float
+    owner_count: int
+    device_kind: str      # "smartphone" | "smartwatch"
+    legit_commands: int
+    attacks: int          # 0 = the campaign never reached this home
+    away_fraction: float  # share of time owners spend out of the room
+    body_block_fraction: float
+    push_loss: float
+    threshold_margin: float  # calibration jitter (units of RSSI)
+
+
+@dataclass(frozen=True)
+class PopulationModel:
+    """Sampling knobs for the synthesized home population."""
+
+    testbed_mix: Tuple[Tuple[str, float], ...] = DEFAULT_TESTBED_MIX
+    plan_scales: Tuple[float, ...] = DEFAULT_PLAN_SCALES
+    attack_prevalence: float = 0.25
+    legit_commands_mean: float = 20.0
+    attacks_mean: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.testbed_mix:
+            raise WorkloadError("testbed mix must name at least one testbed")
+        total = sum(weight for _, weight in self.testbed_mix)
+        if total <= 0:
+            raise WorkloadError("testbed mix weights must sum to a positive value")
+        if not 0.0 <= self.attack_prevalence <= 1.0:
+            raise WorkloadError(
+                f"attack prevalence must be in [0, 1], got {self.attack_prevalence!r}"
+            )
+        for name, _ in self.testbed_mix:
+            testbed_by_name(name)  # raises on unknown names, at config time
+        object.__setattr__(self, "_mix_cumulative", _cumulative(self.testbed_mix))
+
+    def home(self, base_seed: int, shard: int, offset: int, index: int) -> HomeSpec:
+        """Synthesize home ``offset`` of ``shard`` (global ``index``).
+
+        The draw order below is part of the population's definition:
+        reordering it would re-deal every home in every fleet.  Draws
+        come in fixed-size blocks (one uniform vector, one integer
+        vector, then the variable-size tail) so synthesis stays cheap
+        at millions of homes; unused entries are drawn anyway to keep
+        every home's stream aligned.
+        """
+        seed = derive_seed(base_seed, "fleet.home", shard, offset)
+        rng = np.random.default_rng(seed)
+        # u: [mix pick, watch pick, away, body-block, attacked, loss tier]
+        u = rng.random(6)
+        # iv: [deployment, plan-scale slot, extra owners]
+        iv = rng.integers(0, (2, len(self.plan_scales), 3))
+
+        # 1. Base testbed, by mix weight.
+        pick = u[0]
+        testbed = self._mix_cumulative[-1][0]
+        for name, cumulative in self._mix_cumulative:
+            if pick < cumulative:
+                testbed = name
+                break
+
+        # 2. Deployment and floor-plan jitter.
+        deployment = int(iv[0])
+        plan_scale = float(self.plan_scales[int(iv[1])])
+
+        # 3. Device mix: the office population wears watches (the
+        #    paper's setup); homes carry phones, with a watch minority.
+        if testbed == "office":
+            owner_count = 1
+            device_kind = "smartwatch"
+        else:
+            owner_count = 1 + int(iv[2])
+            device_kind = "smartwatch" if u[1] < 0.15 else "smartphone"
+
+        # 4. Occupancy schedule.
+        away_fraction = 0.25 + 0.55 * float(u[2])
+        body_block_fraction = 0.2 + 0.4 * float(u[3])
+        legit_commands = max(1, int(rng.poisson(self.legit_commands_mean)))
+
+        # 5. Attack prevalence.
+        attacks = 0
+        if u[4] < self.attack_prevalence:
+            attacks = max(1, int(rng.poisson(self.attacks_mean)))
+
+        # 6. Operational diversity.
+        tier_pick = u[5]
+        push_loss = _LOSS_CUMULATIVE[-1][0]
+        for tier, cumulative in _LOSS_CUMULATIVE:
+            if tier_pick < cumulative:
+                push_loss = tier
+                break
+        threshold_margin = float(rng.normal(0.0, 0.5))
+
+        return HomeSpec(
+            index=index,
+            shard=shard,
+            seed=seed,
+            testbed=testbed,
+            deployment=deployment,
+            plan_scale=plan_scale,
+            owner_count=owner_count,
+            device_kind=device_kind,
+            legit_commands=legit_commands,
+            attacks=attacks,
+            away_fraction=away_fraction,
+            body_block_fraction=body_block_fraction,
+            push_loss=push_loss,
+            threshold_margin=threshold_margin,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Floor-plan jitter
+# ---------------------------------------------------------------------------
+
+def _scale_point(point: Point, factor: float) -> Point:
+    # z encodes which storey a point is on; jitter stretches rooms in
+    # plan view only, so storey membership (and slab crossings) hold.
+    return Point(point.x * factor, point.y * factor, point.z)
+
+
+def scale_testbed(name: str, factor: float) -> Testbed:
+    """Rebuild a base testbed with its plan-view geometry scaled.
+
+    Every x/y coordinate — rooms, walls, measurement points, slab
+    zones, walking routes, speaker locations, the stair region — is
+    multiplied by ``factor``; z (storeys) is untouched and door
+    openings are fractional, so the scaled plan validates with the
+    same topology, room names, and point numbering as the original.
+    """
+    base = testbed_by_name(name)
+    if factor == 1.0:
+        return base
+    if factor <= 0.0:
+        raise WorkloadError(f"plan scale must be positive, got {factor!r}")
+
+    plan = FloorPlan(f"{base.plan.name} x{factor:g}", base.plan.floor_count)
+    for room in base.plan.rooms.values():
+        plan.add_room(Room(
+            name=room.name,
+            x0=room.x0 * factor, y0=room.y0 * factor,
+            x1=room.x1 * factor, y1=room.y1 * factor,
+            floor=room.floor, height=room.height,
+        ))
+    for wall in base.plan.walls:
+        plan.add_wall(
+            (wall.start[0] * factor, wall.start[1] * factor),
+            (wall.end[0] * factor, wall.end[1] * factor),
+            floor=int(round(wall.z_low / FLOOR_HEIGHT)),
+            doors=tuple(Door(d.u_start, d.u_end) for d in wall.doors),
+        )
+    for zone in base.plan.slab_zones:
+        plan.add_slab_zone(SlabZone(
+            x0=zone.x0 * factor, y0=zone.y0 * factor,
+            x1=zone.x1 * factor, y1=zone.y1 * factor,
+            slab_height=zone.slab_height, attenuation=zone.attenuation,
+        ))
+    # Re-add points in numbering order so numbers (and the paper's
+    # leak-cluster references) line up with the base plan.
+    for number in sorted(base.plan.points):
+        mp = base.plan.points[number]
+        plan.add_points(mp.room_name, [_scale_point(mp.point, factor)])
+    plan.validate()
+
+    routes = {
+        route_name: WalkRoute(
+            name=route.name,
+            waypoints=[_scale_point(p, factor) for p in route.waypoints],
+            duration=route.duration,
+        )
+        for route_name, route in base.routes.items()
+    }
+    stair_region = None
+    if base.stair_region is not None:
+        x0, y0, x1, y1 = base.stair_region
+        stair_region = (x0 * factor, y0 * factor, x1 * factor, y1 * factor)
+
+    return Testbed(
+        name=base.name,
+        plan=plan,
+        speaker_locations=[_scale_point(p, factor) for p in base.speaker_locations],
+        speaker_rooms=list(base.speaker_rooms),
+        routes=routes,
+        line_of_sight_points={k: list(v) for k, v in base.line_of_sight_points.items()},
+        stair_region=stair_region,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side world cache
+# ---------------------------------------------------------------------------
+
+# Threshold sits this far under the weakest legitimate spot's mean
+# RSSI before per-home calibration jitter — the same "legit points must
+# pass" contract the calibrator establishes on the real testbeds.
+CALIBRATION_HEADROOM = 0.75
+
+
+@dataclass
+class FleetWorld:
+    """The shared, expensive part of one ``(testbed, deployment, scale)``
+    bucket: scaled geometry, propagation model, and the mean-RSSI
+    surfaces every home in the bucket samples around."""
+
+    testbed: Testbed
+    model: PropagationModel
+    speaker: Point
+    legit_numbers: List[int] = field(default_factory=list)
+    away_numbers: List[int] = field(default_factory=list)
+    legit_means: np.ndarray = field(default_factory=lambda: np.empty(0))
+    away_means: np.ndarray = field(default_factory=lambda: np.empty(0))
+    threshold_base: float = 0.0
+
+
+_WORLD_CACHE: Dict[Tuple[str, int, float], FleetWorld] = {}
+
+
+def fleet_world(testbed_name: str, deployment: int, plan_scale: float) -> FleetWorld:
+    """Build (or fetch) the shared world for one jitter bucket.
+
+    The model seed derives from the bucket alone, so a bucket's static
+    shadowing field is identical across workers and runs; per-home
+    variation rides on top as sample noise, occupancy, and calibration
+    jitter from the home's own seed.
+    """
+    key = (testbed_name, int(deployment), float(plan_scale))
+    world = _WORLD_CACHE.get(key)
+    if world is not None:
+        return world
+
+    testbed = scale_testbed(testbed_name, plan_scale)
+    model = PropagationModel(
+        testbed.plan,
+        seed=derive_seed(0, "fleet.world", testbed_name, deployment,
+                         f"{plan_scale:.6f}"),
+    )
+    speaker = testbed.speaker_point(deployment)
+    legit_numbers = testbed.legitimate_points(deployment)
+    all_numbers = sorted(testbed.plan.points)
+    legit_set = set(legit_numbers)
+    away_numbers = [n for n in all_numbers if n not in legit_set]
+
+    legit_points = [testbed.device_point(n) for n in legit_numbers]
+    away_points = [testbed.device_point(n) for n in away_numbers]
+    legit_means = model.mean_rssi_many(speaker, legit_points)
+    away_means = model.mean_rssi_many(speaker, away_points)
+
+    world = FleetWorld(
+        testbed=testbed,
+        model=model,
+        speaker=speaker,
+        legit_numbers=list(legit_numbers),
+        away_numbers=away_numbers,
+        legit_means=np.asarray(legit_means, dtype=np.float64),
+        away_means=np.asarray(away_means, dtype=np.float64),
+        threshold_base=float(np.min(legit_means)) - CALIBRATION_HEADROOM,
+    )
+    _WORLD_CACHE[key] = world
+    return world
+
+
+def clear_world_cache() -> None:
+    """Drop memoized worlds (tests; long-lived interactive sessions)."""
+    _WORLD_CACHE.clear()
+
+
+def warm_worlds(population: "PopulationModel") -> int:
+    """Pre-build every world bucket the population can reach.
+
+    Called in the parent before the pool spins up: on fork platforms
+    the children inherit the warmed cache for free, instead of each
+    worker rebuilding a few dozen propagation surfaces on first use.
+    Idempotent; returns the bucket count.
+    """
+    for name, _ in population.testbed_mix:
+        for deployment in (0, 1):
+            for scale in population.plan_scales:
+                fleet_world(name, deployment, scale)
+    return len(population.testbed_mix) * 2 * len(population.plan_scales)
+
+
+def scaled_spec(spec: HomeSpec, **overrides) -> HomeSpec:
+    """A copy of ``spec`` with fields replaced (test/CLI convenience)."""
+    return replace(spec, **overrides)

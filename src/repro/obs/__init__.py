@@ -25,6 +25,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     MetricsScope,
+    QuantileSketch,
     merge_snapshots,
 )
 from repro.obs.tracer import (
@@ -43,6 +44,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsScope",
+    "QuantileSketch",
     "merge_snapshots",
     "NULL_SPAN",
     "NULL_TRACER",

@@ -301,3 +301,84 @@ def test_confusion_matrix_renders_empty_without_nan():
 def test_fmt_percent_nan_is_a_dash():
     assert fmt_percent(float("nan")) == "—"
     assert fmt_percent(0.5) == "50.00%"
+
+
+# ---------------------------------------------------------------------------
+# Quantile sketch (fleet latency percentiles)
+# ---------------------------------------------------------------------------
+
+class TestQuantileSketch:
+    def _sketch(self, values, alpha=0.01):
+        from repro.obs.metrics import QuantileSketch
+
+        sketch = QuantileSketch(alpha)
+        for value in values:
+            sketch.add(value)
+        return sketch
+
+    def test_relative_error_bound(self):
+        import random
+
+        rng = random.Random(5)
+        values = sorted(rng.uniform(0.5, 40.0) for _ in range(5000))
+        sketch = self._sketch(values, alpha=0.01)
+        for q in (0.05, 0.5, 0.9, 0.99):
+            exact = values[max(0, math.ceil(q * len(values)) - 1)]
+            approx = sketch.quantile(q)
+            assert abs(approx - exact) <= 0.011 * exact
+
+    def test_merge_matches_all_at_once(self):
+        left = self._sketch([1.0, 2.0, 3.0, 100.0])
+        right = self._sketch([0.5, 4.0, 0.0, 2.5])
+        combined = self._sketch([1.0, 2.0, 3.0, 100.0, 0.5, 4.0, 0.0, 2.5])
+        left.merge(right)
+        assert left.to_dict() == combined.to_dict()
+
+    def test_merge_alpha_mismatch_rejected(self):
+        from repro.obs.metrics import QuantileSketch
+
+        with pytest.raises(ConfigError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+    def test_negative_value_rejected(self):
+        from repro.obs.metrics import QuantileSketch
+
+        with pytest.raises(ConfigError):
+            QuantileSketch().add(-1.0)
+
+    def test_empty_quantile_is_nan(self):
+        from repro.obs.metrics import QuantileSketch
+
+        assert math.isnan(QuantileSketch().quantile(0.5))
+
+    def test_roundtrip_through_dict(self):
+        from repro.obs.metrics import QuantileSketch
+
+        sketch = self._sketch([0.0, 1.5, 2.5, 9.0])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.to_dict() == sketch.to_dict()
+        assert clone.quantile(0.9) == sketch.quantile(0.9)
+
+    def test_zero_values_tracked(self):
+        sketch = self._sketch([0.0, 0.0, 5.0])
+        assert sketch.quantile(0.5) == 0.0
+
+
+def test_collect_metric_snapshots_warns_on_dropped_results(caplog):
+    import logging
+
+    results = [{"metrics": {"counters": {"n": 1}}}, {"other": 1}, None]
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.parallel"):
+        snapshots = collect_metric_snapshots(results)
+    assert snapshots == [{"counters": {"n": 1}}]
+    messages = [r.getMessage() for r in caplog.records]
+    assert any("2 of 3" in m for m in messages)
+
+
+def test_collect_metric_snapshots_all_present_is_silent(caplog):
+    import logging
+
+    results = [{"metrics": {"counters": {"n": 1}}}]
+    with caplog.at_level(logging.WARNING, logger="repro.experiments.parallel"):
+        collect_metric_snapshots(results)
+    assert not caplog.records

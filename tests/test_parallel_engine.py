@@ -248,3 +248,145 @@ class TestSeededInterval:
         first = cell.accuracy_interval(seed=11)
         second = cell.accuracy_interval(seed=11)
         assert (first.low, first.high) == (second.low, second.high)
+
+
+# Module-level for pool pickling (run_fold tests).
+
+def _triple(value):
+    return value * 3
+
+
+class TestRunFold:
+    def _tasks(self, n):
+        return (ExperimentTask(fn=_triple, args=(i,), label=f"t{i}",
+                               cacheable=False) for i in range(n))
+
+    def test_serial_fold(self):
+        engine = ExperimentEngine(workers=1, use_cache=False)
+        total, count = engine.run_fold(self._tasks(10),
+                                       lambda acc, v, task: acc + v,
+                                       initial=0)
+        assert total == sum(3 * i for i in range(10))
+        assert count == 10
+
+    def test_pool_fold_matches_serial(self):
+        serial = ExperimentEngine(workers=1, use_cache=False)
+        pooled = ExperimentEngine(workers=3, use_cache=False)
+        fold = lambda acc, v, task: acc + v  # noqa: E731 - commutative
+        expected, _ = serial.run_fold(self._tasks(20), fold, initial=0)
+        actual, count = pooled.run_fold(self._tasks(20), fold, initial=0)
+        assert actual == expected
+        assert count == 20
+
+    def test_pool_fold_bounded_window(self):
+        engine = ExperimentEngine(workers=2, use_cache=False)
+        total, count = engine.run_fold(self._tasks(12),
+                                       lambda acc, v, task: acc + v,
+                                       initial=0, window=2)
+        assert total == sum(3 * i for i in range(12))
+        assert count == 12
+
+    def test_fold_receives_task(self):
+        engine = ExperimentEngine(workers=1, use_cache=False)
+        labels, _ = engine.run_fold(
+            self._tasks(3),
+            lambda acc, v, task: acc + [task.label],
+            initial=[])
+        assert labels == ["t0", "t1", "t2"]
+
+    def test_empty_iterable(self):
+        engine = ExperimentEngine(workers=1, use_cache=False)
+        acc, count = engine.run_fold(iter(()), lambda a, v, t: a, initial=7)
+        assert (acc, count) == (7, 0)
+
+
+class TestCacheableFlag:
+    def test_uncacheable_task_never_writes(self, tmp_path):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        cache = tmp_path / "cache"
+        task = ExperimentTask(fn=_touch_and_square, args=(4, str(marker)),
+                              cacheable=False)
+        for _ in range(2):
+            engine = ExperimentEngine(workers=1, use_cache=True,
+                                      cache_dir=cache)
+            [result] = engine.run([task])
+            assert result == 16
+        assert len(list(marker.iterdir())) == 2  # executed both times
+        assert not list(cache.glob("*.pkl"))
+
+    def test_cacheable_task_still_cached(self, tmp_path):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        cache = tmp_path / "cache"
+        task = ExperimentTask(fn=_touch_and_square, args=(4, str(marker)))
+        for _ in range(2):
+            engine = ExperimentEngine(workers=1, use_cache=True,
+                                      cache_dir=cache)
+            engine.run([task])
+        assert len(list(marker.iterdir())) == 1  # second run was a hit
+
+
+class TestCacheTools:
+    def test_stats_and_prune(self, tmp_path):
+        from repro.experiments.parallel import cache_stats, prune_cache
+
+        cache = tmp_path / "cache"
+        engine = ExperimentEngine(workers=1, use_cache=True, cache_dir=cache)
+        engine.run([ExperimentTask(fn=_square, args=(i,)) for i in range(3)])
+
+        stats = cache_stats(cache_dir=cache)
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+
+        report = prune_cache(cache_dir=cache)
+        assert report["removed"] == 3
+        assert report["bytes_reclaimed"] == stats["bytes"]
+        assert cache_stats(cache_dir=cache)["entries"] == 0
+
+    def test_prune_keep_days_keeps_fresh_entries(self, tmp_path):
+        from repro.experiments.parallel import cache_stats, prune_cache
+
+        cache = tmp_path / "cache"
+        engine = ExperimentEngine(workers=1, use_cache=True, cache_dir=cache)
+        engine.run([ExperimentTask(fn=_square, args=(1,))])
+        report = prune_cache(cache_dir=cache, keep_days=1.0)
+        assert report["removed"] == 0
+        assert report["kept"] == 1
+        assert cache_stats(cache_dir=cache)["entries"] == 1
+
+    def test_prune_keep_days_drops_stale_entries(self, tmp_path):
+        from repro.experiments.parallel import prune_cache
+
+        cache = tmp_path / "cache"
+        engine = ExperimentEngine(workers=1, use_cache=True, cache_dir=cache)
+        engine.run([ExperimentTask(fn=_square, args=(1,))])
+        stale = 10 * 86400
+        for entry in cache.glob("*.pkl"):
+            info = entry.stat()
+            os.utime(entry, (info.st_atime - stale, info.st_mtime - stale))
+        report = prune_cache(cache_dir=cache, keep_days=1.0)
+        assert report["removed"] == 1
+
+    def test_stats_on_missing_dir(self, tmp_path):
+        from repro.experiments.parallel import cache_stats, prune_cache
+
+        missing = tmp_path / "nope"
+        assert cache_stats(cache_dir=missing)["entries"] == 0
+        assert prune_cache(cache_dir=missing)["removed"] == 0
+
+
+class TestPoolReleasesFutures:
+    def test_large_fold_constant_accumulator(self):
+        # 60 tasks through 2 workers with a window of 3: if the pool
+        # path held every future/result, this would accumulate 60
+        # payloads; the fold sees them exactly once each instead.
+        engine = ExperimentEngine(workers=2, use_cache=False)
+        seen = []
+        _, count = engine.run_fold(
+            (ExperimentTask(fn=_triple, args=(i,), cacheable=False)
+             for i in range(60)),
+            lambda acc, v, task: seen.append(v) or acc,
+            initial=None, window=3)
+        assert count == 60
+        assert sorted(seen) == [3 * i for i in range(60)]
