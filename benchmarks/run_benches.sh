@@ -3,7 +3,8 @@
 #
 #   benchmarks/run_benches.sh          # kernel benches -> BENCH_rssi.json,
 #                                      # BENCH_sim.json, BENCH_obs.json,
-#                                      # BENCH_fleet.json
+#                                      # BENCH_fleet.json,
+#                                      # BENCH_fleet_full.json
 #   benchmarks/run_benches.sh --smoke  # same benches at minimal wall time:
 #                                      # exercises the whole path (CI's
 #                                      # bench job), numbers not citable
@@ -31,6 +32,8 @@ if [ "${1:-}" = "--smoke" ]; then
         --output benchmarks/results/BENCH_obs.json
     python benchmarks/bench_fleet.py --smoke \
         --output benchmarks/results/BENCH_fleet.json
+    python benchmarks/bench_fleet_full.py --smoke \
+        --output benchmarks/results/BENCH_fleet_full.json
     exit 0
 fi
 
@@ -38,6 +41,7 @@ python -m repro bench-rssi --seed 7 --output benchmarks/results/BENCH_rssi.json
 python -m repro bench-sim --seed 11 --output benchmarks/results/BENCH_sim.json
 python benchmarks/bench_obs_overhead.py --output benchmarks/results/BENCH_obs.json
 python benchmarks/bench_fleet.py --output benchmarks/results/BENCH_fleet.json
+python benchmarks/bench_fleet_full.py --output benchmarks/results/BENCH_fleet_full.json
 
 if [ "${1:-}" = "--all" ]; then
     python -m pytest benchmarks/ -q

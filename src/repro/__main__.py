@@ -7,6 +7,7 @@ Commands
 ``fig``         — one of 3 | 4 | 6 | 7 | 8 | 9 | 10
 ``campaign``    — the multi-home media campaign experiment
 ``fleet``       — stream a synthesized fleet of 10k-1M homes (fleet tables)
+``fleet-validate`` — cross-validate fast vs full fleet fidelity (KS + χ²)
 ``cache``       — experiment-cache stats; ``--prune`` reclaims disk
 ``endurance``   — the hold-endurance sweep
 ``resilience``  — fault rate x retry policy sweep (availability under faults)
@@ -115,10 +116,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         seed=args.seed,
         chunk_size=args.chunk_size,
         fidelity=args.fidelity,
+        full_build=args.full_build,
         population=population,
     )
     result = run_fleet(config, workers=args.workers, dispatch=args.dispatch,
-                       window=args.window)
+                       window=args.window,
+                       progress=True if args.progress else None)
     print(result.render())
     print(result.render_throughput(), file=sys.stderr)
     if args.output:
@@ -127,6 +130,32 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         pathlib.Path(args.output).write_text(result.render() + "\n",
                                              encoding="utf-8")
         print(f"(written to {args.output})")
+    return 0
+
+
+def _cmd_fleet_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.fleet_validate import run_fleet_validate
+
+    result = run_fleet_validate(
+        homes=args.homes,
+        shards=args.shards,
+        seed=args.seed,
+        workers=args.workers,
+        full_build=args.full_build,
+        progress=True if args.progress else None,
+    )
+    print(result.render())
+    print(result.render_throughput(), file=sys.stderr)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(result.render() + "\n",
+                                             encoding="utf-8")
+        print(f"(written to {args.output})")
+    if args.strict and not result.all_passed:
+        print("FAIL: a testbed's fast-vs-full statistics exceeded the "
+              "1% critical values", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -312,11 +341,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "packet-level scenario per home (validation only)")
     fleet.add_argument("--attack-prevalence", type=float, default=0.25,
                        help="fraction of homes the campaign reaches")
+    fleet.add_argument("--full-build", choices=["pooled", "cold"],
+                       default="pooled",
+                       help="full fidelity only: pooled = warm-start "
+                            "scenario templates (fast); cold = rebuild "
+                            "every world (benchmark baseline). Identical "
+                            "tables either way")
+    fleet.add_argument("--progress", action="store_true",
+                       help="counted progress on stderr: homes done, "
+                            "homes/sec, ETA (fed by chunk metrics)")
     fleet.add_argument("--window", type=int, default=None,
                        help="max in-flight pool tasks (default 4x workers)")
     fleet.add_argument("--output", default=None,
                        help="also write the fleet tables here")
     fleet.set_defaults(func=_cmd_fleet)
+
+    fleet_validate = sub.add_parser(
+        "fleet-validate", parents=[common, parallel],
+        help="cross-validate the reduced-order (fast) home model against "
+             "packet-level (full) simulation on one matched population: "
+             "KS on latency sketches, χ² on outcome counts, per testbed")
+    fleet_validate.add_argument("--homes", type=int, default=120,
+                                help="population size (full fidelity runs "
+                                     "every home at packet level)")
+    fleet_validate.add_argument("--shards", type=int, default=4)
+    fleet_validate.add_argument("--full-build", choices=["pooled", "cold"],
+                                default="pooled",
+                                help="full-fidelity world strategy "
+                                     "(identical results either way)")
+    fleet_validate.add_argument("--progress", action="store_true",
+                                help="counted progress on stderr")
+    fleet_validate.add_argument("--strict", action="store_true",
+                                help="exit 1 if any testbed fails the 1% "
+                                     "criteria (CI gating)")
+    fleet_validate.add_argument("--output", default=None,
+                                help="also write the validation report here")
+    fleet_validate.set_defaults(func=_cmd_fleet_validate)
 
     cache = sub.add_parser(
         "cache",

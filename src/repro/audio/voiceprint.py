@@ -34,6 +34,20 @@ _SYNTHESIS_ARTIFACT = 0.110  # TTS cloning residual
 _utterance_ids = itertools.count(1)
 
 
+def peek_utterance_id() -> int:
+    """The id the next utterance will get (snapshot bookkeeping)."""
+    global _utterance_ids
+    value = next(_utterance_ids)
+    _utterance_ids = itertools.count(value)
+    return value
+
+
+def reset_utterance_ids(start: int = 1) -> None:
+    """Restart utterance numbering (snapshot restore / test isolation)."""
+    global _utterance_ids
+    _utterance_ids = itertools.count(start)
+
+
 class UtteranceSource(enum.Enum):
     """Provenance of an utterance — ground truth for scoring."""
 

@@ -61,7 +61,6 @@ from repro.experiments.synthesis import (
     HomeSpec,
     PopulationModel,
     fleet_world,
-    scale_testbed,
     warm_worlds,
 )
 from repro.obs.metrics import (
@@ -231,36 +230,31 @@ def simulate_home(spec: HomeSpec) -> HomeSummary:
     return summary
 
 
-def simulate_home_full(spec: HomeSpec) -> HomeSummary:
-    """Packet-level fidelity: one full scenario simulation per home."""
-    from repro.analysis.metrics import summarize_resilience
-    from repro.core.config import VoiceGuardConfig
-    from repro.experiments.runner import score_interactions
-    from repro.experiments.scenarios import build_scenario
-    from repro.experiments.workload import SevenDayWorkload
-    from repro.faults.plan import FaultPlan
+_SCENARIO_POOL = None
 
-    testbed = scale_testbed(spec.testbed, spec.plan_scale)
-    config = VoiceGuardConfig(push_retries=PUSH_ATTEMPTS - 1,
-                              retry_base=RETRY_BASE, retry_cap=RETRY_CAP)
-    fault_plan = None
-    if spec.push_loss > 0.0:
-        fault_plan = FaultPlan(
-            seed=derive_seed(spec.seed, "home.faults"),
-            push_loss=spec.push_loss,
-            report_loss=0.5 * spec.push_loss,
-        )
-    scenario = build_scenario(
-        spec.testbed,
-        "echo",
-        deployment=spec.deployment,
-        seed=spec.seed,
-        owner_count=spec.owner_count,
-        device_kind=spec.device_kind,
-        config=config,
-        fault_plan=fault_plan,
-        testbed=testbed,
-    )
+
+def _scenario_pool():
+    """The worker-process scenario pool (built lazily per process)."""
+    global _SCENARIO_POOL
+    if _SCENARIO_POOL is None:
+        from repro.experiments.pool import ScenarioPool
+
+        _SCENARIO_POOL = ScenarioPool()
+    return _SCENARIO_POOL
+
+
+def clear_scenario_pool() -> None:
+    """Drop the worker pool's templates (tests / memory pressure)."""
+    global _SCENARIO_POOL
+    _SCENARIO_POOL = None
+
+
+def _summarize_full(scenario, spec: HomeSpec) -> HomeSummary:
+    """Run a built home through its workload and fold the summary."""
+    from repro.analysis.metrics import summarize_resilience
+    from repro.experiments.runner import score_interactions
+    from repro.experiments.workload import SevenDayWorkload
+
     workload = SevenDayWorkload(scenario)
     workload.run(spec.legit_commands, spec.attacks)
     records = scenario.speaker.settle_all()
@@ -287,6 +281,30 @@ def simulate_home_full(spec: HomeSpec) -> HomeSummary:
         latencies_us=np.rint(np.asarray(latencies, dtype=np.float64) * 1e6
                              ).astype(np.int64),
     )
+
+
+def simulate_home_full(spec: HomeSpec) -> HomeSummary:
+    """Packet-level fidelity: one full scenario simulation per home.
+
+    Worlds come from the warm-start scenario pool
+    (:mod:`repro.experiments.pool`): one template build per world
+    bucket, then a snapshot restore + rehome per home — byte-identical
+    to :func:`simulate_home_full_cold` and an order of magnitude
+    faster, which is what makes ``--fidelity full`` usable beyond a
+    handful of homes.
+    """
+    return _summarize_full(_scenario_pool().acquire(spec), spec)
+
+
+def simulate_home_full_cold(spec: HomeSpec) -> HomeSummary:
+    """Packet-level fidelity with a from-scratch world build per home.
+
+    The pool's equality oracle and the ``BENCH_fleet_full`` baseline;
+    selected at fleet level with ``full_build="cold"``.
+    """
+    from repro.experiments.pool import build_home_cold
+
+    return _summarize_full(build_home_cold(spec), spec)
 
 
 # ---------------------------------------------------------------------------
@@ -420,6 +438,10 @@ class FleetConfig:
     seed: int = 0
     chunk_size: int = 256
     fidelity: str = "fast"
+    # full fidelity only: "pooled" restores homes from warm-start
+    # templates; "cold" rebuilds every world from scratch (the
+    # benchmark baseline).  Both produce byte-identical tables.
+    full_build: str = "pooled"
     population: PopulationModel = field(default_factory=PopulationModel)
 
     def __post_init__(self) -> None:
@@ -432,6 +454,10 @@ class FleetConfig:
         if self.fidelity not in FIDELITIES:
             raise WorkloadError(
                 f"unknown fidelity {self.fidelity!r}; choose from {FIDELITIES}")
+        if self.full_build not in ("pooled", "cold"):
+            raise WorkloadError(
+                f"unknown full_build {self.full_build!r}; "
+                f"choose from ('pooled', 'cold')")
 
     def shard_size(self, shard: int) -> int:
         base, remainder = divmod(self.homes, self.shards)
@@ -470,7 +496,12 @@ def run_fleet_chunk(config: FleetConfig, shard: int, lo: int, hi: int) -> dict:
     blocked_counter = scope.counter("attacks_blocked")
     latency_hist = scope.histogram("decision_latency", DEFAULT_LATENCY_EDGES)
 
-    simulate = simulate_home if config.fidelity == "fast" else simulate_home_full
+    if config.fidelity == "fast":
+        simulate = simulate_home
+    elif config.full_build == "cold":
+        simulate = simulate_home_full_cold
+    else:
+        simulate = simulate_home_full
     start_index = config.shard_start(shard)
     for offset in range(lo, hi):
         spec = config.population.home(config.seed, shard, offset,
@@ -513,6 +544,58 @@ def _histogram_add_array(hist, values_us: np.ndarray) -> None:
 def _fold_chunk(accumulator: FleetAccumulator, payload: object,
                 task: ExperimentTask) -> FleetAccumulator:
     return accumulator.merge_payload(payload)
+
+
+class FleetProgressMeter:
+    """Counted progress for a streaming fleet run.
+
+    Reads each folded chunk's ``fleet.homes`` counter from its
+    ``obs.metrics`` snapshot (every chunk carries one) and reports
+    homes done, instantaneous throughput, and the ETA implied by the
+    mean rate so far.  Emission is rate-limited so a million-home fast
+    run doesn't drown stderr; the final update always emits.
+    """
+
+    def __init__(self, total_homes: int, emit=None,
+                 min_interval: float = 0.5) -> None:
+        self.total = total_homes
+        self.done = 0
+        self.emit = emit if emit is not None else self._default_emit
+        self.min_interval = min_interval
+        self.start = time.perf_counter()
+        self._last_emit = float("-inf")
+
+    @staticmethod
+    def _default_emit(message: str) -> None:
+        import sys
+
+        print(message, file=sys.stderr, flush=True)
+
+    def _chunk_homes(self, payload: dict) -> int:
+        metrics = payload.get("metrics") or {}
+        homes = metrics.get("counters", {}).get("fleet.homes")
+        if homes is None:  # metrics-free payload: fall back to counts
+            homes = sum(counts.get("homes", 0)
+                        for counts in payload.get("per_testbed", {}).values())
+        return int(homes)
+
+    def update(self, payload: dict) -> None:
+        """Fold one chunk's payload into the meter, maybe emitting."""
+        self.done += self._chunk_homes(payload)
+        now = time.perf_counter()
+        final = self.done >= self.total
+        if not final and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        elapsed = max(now - self.start, 1e-9)
+        rate = self.done / elapsed
+        remaining = max(self.total - self.done, 0)
+        eta = remaining / rate if rate > 0 else float("inf")
+        self.emit(
+            f"fleet: {self.done}/{self.total} homes "
+            f"({self.done / self.total:.0%}) — {rate:,.0f} homes/sec, "
+            f"ETA {eta:,.0f}s"
+        )
 
 
 @dataclass
@@ -609,11 +692,17 @@ def run_fleet(
     materializes every result — kept runnable as the benchmark
     baseline the chunked path is measured against.  Both produce the
     same accumulator state, and therefore the same table.
+
+    ``progress=True`` attaches a :class:`FleetProgressMeter` (counted
+    homes done / homes-per-sec / ETA on stderr, fed by each chunk's
+    metrics snapshot); a callable instead receives the engine's
+    per-task messages, the pre-meter behaviour.
     """
     if dispatch not in ("chunked", "per-task"):
         raise WorkloadError(f"unknown dispatch mode {dispatch!r}")
+    meter = FleetProgressMeter(config.homes) if progress is True else None
     engine = ExperimentEngine(workers=workers, use_cache=False,
-                              progress=progress)
+                              progress=progress if callable(progress) else None)
     start = time.perf_counter()
     if config.fidelity == "fast":
         # Build every world bucket before the pool forks: children
@@ -634,6 +723,8 @@ def run_fleet(
         accumulator = FleetAccumulator()
         for payload in results:
             accumulator.merge_payload(payload)
+            if meter is not None:
+                meter.update(payload)
         chunks = len(tasks)
     else:
         task_stream = (
@@ -645,8 +736,15 @@ def run_fleet(
             )
             for shard, lo, hi in config.iter_chunks(shard_order=shard_order)
         )
+
+        def fold(accumulator, payload, task):
+            accumulator = _fold_chunk(accumulator, payload, task)
+            if meter is not None:
+                meter.update(payload)
+            return accumulator
+
         accumulator, chunks = engine.run_fold(
-            task_stream, _fold_chunk, initial=FleetAccumulator(),
+            task_stream, fold, initial=FleetAccumulator(),
             window=window,
         )
     elapsed = time.perf_counter() - start

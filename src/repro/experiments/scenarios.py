@@ -101,6 +101,8 @@ def build_scenario(
     fault_plan: Optional[FaultPlan] = None,
     tracing: bool = False,
     testbed: Optional[Testbed] = None,
+    memo_bucket: Optional[tuple] = None,
+    with_fault_injector: bool = False,
 ) -> Scenario:
     """Build a fully wired scenario.
 
@@ -112,13 +114,21 @@ def build_scenario(
     span collection (``env.obs.tracer``); it never changes a run.
     ``testbed`` substitutes a pre-built (e.g. geometrically jittered)
     testbed for the named one; ``testbed_name`` still labels the run.
+    ``memo_bucket`` (a hashable key covering geometry/deployment/seed/
+    device mix) lets repeat builds of the same world bucket replay
+    memoized calibration walks and trace-classifier training instead of
+    re-simulating them — the scenario pool's warm-build path; leave it
+    ``None`` to always recompute.  ``with_fault_injector`` forces an
+    unarmed fault injector to exist even without a plan, so a pooled
+    world can be re-armed per home (byte-identical to having none).
     """
     if speaker_kind not in ("echo", "google"):
         raise WorkloadError(f"unknown speaker kind {speaker_kind!r}")
     if testbed is None:
         testbed = testbed_by_name(testbed_name)
     env = HomeEnvironment(testbed, deployment=deployment, seed=seed,
-                          fault_plan=fault_plan, tracing=tracing)
+                          fault_plan=fault_plan, tracing=tracing,
+                          with_fault_injector=with_fault_injector)
     network = Network(env.sim, env.rng)
 
     dns_server = DnsServer("router-dns", IPv4Address(DNS_IP))
@@ -162,7 +172,7 @@ def build_scenario(
 
     # -- calibration + registration -----------------------------------------
     if calibrate:
-        calibrator = ThresholdCalibrator(env)
+        calibrator = ThresholdCalibrator(env, memo_bucket=memo_bucket)
         for device in scenario.devices:
             result = calibrator.calibrate(device, speaker_room)
             scenario.calibrations[device.name] = result
@@ -183,7 +193,7 @@ def build_scenario(
         else testbed.stair_region is not None
     )
     if with_guard and wants_floor and testbed.stair_region is not None:
-        classifier = train_trace_classifier(scenario)
+        classifier = train_trace_classifier(scenario, memo_bucket=memo_bucket)
         scenario.trace_classifier = classifier
         sensor = env.install_motion_sensor()
         scenario.motion_sensor = sensor
@@ -195,6 +205,18 @@ def build_scenario(
 # ---------------------------------------------------------------------------
 # Speaker-specific wiring
 # ---------------------------------------------------------------------------
+
+class _SessionChurn:
+    """Rotate the AVS DNS record after some session closes."""
+
+    def __init__(self, rng, record: DnsRecord) -> None:
+        self.rng = rng
+        self.record = record
+
+    def __call__(self, reason: str) -> None:
+        if self.rng.random() < AVS_ROTATE_PROBABILITY:
+            self.record.rotate()
+
 
 def _build_echo_side(scenario: Scenario, anomalous_rate: float, misc_domains: int) -> None:
     env, network = scenario.env, scenario.network
@@ -210,13 +232,11 @@ def _build_echo_side(scenario: Scenario, anomalous_rate: float, misc_domains: in
     scenario.avs_record = record
 
     # Cloud-side IP churn: sessions often land on a different server.
-    rotate_rng = env.rng.stream("cloud.avs.rotate")
-
-    def maybe_rotate(reason: str) -> None:
-        if rotate_rng.random() < AVS_ROTATE_PROBABILITY:
-            record.rotate()
-
-    avs.on_session_closed = maybe_rotate
+    # A callable object (not a closure): the hook is permanent state on
+    # the cloud, and deepcopy-based world snapshots must rebind its rng
+    # and record references into the copied graph (a closure would be
+    # copied as an atom still pointing at the template's).
+    avs.on_session_closed = _SessionChurn(env.rng.stream("cloud.avs.rotate"), record)
 
     domains = list(sig.OTHER_AMAZON_SIGNATURES)[:misc_domains]
     for index, domain in enumerate(domains):
@@ -342,6 +362,7 @@ def collect_route_features(
     device: MobileDevice,
     route_name: str,
     repetitions: int,
+    step_log: Optional[List[float]] = None,
 ) -> List[TraceFeatures]:
     """Walk ``route_name`` ``repetitions`` times recording traces.
 
@@ -349,6 +370,13 @@ def collect_route_features(
     moment the stair sensor would trigger, and the walker stands still
     at the route's end until the 8-second trace completes — matching
     how live traces are captured.
+
+    ``step_log``, if given, collects every ``run_for`` increment in
+    order.  Replaying those exact floats from the same starting clock
+    reproduces the clock's value chain bit-for-bit — which a single
+    fused ``run_for(total)`` would not — so memoized training (see
+    :func:`train_trace_classifier`) keeps later event timestamps
+    byte-identical to a memo-cold build.
     """
     env = scenario.env
     route = scenario.env.testbed.routes[route_name]
@@ -370,9 +398,13 @@ def collect_route_features(
         # The live sensor polls every 0.25 s, so live traces start up
         # to a poll period after region entry; train the same way.
         trigger_offset = base_offset + float(jitter_rng.uniform(0.0, 0.3))
+        tail = route.duration - trigger_offset + 9.5
+        if step_log is not None:
+            step_log.append(trigger_offset)
+            step_log.append(tail)
         env.sim.run_for(trigger_offset)
         device.record_trace(env.speaker_beacon, on_trace)
-        env.sim.run_for(route.duration - trigger_offset + 9.5)
+        env.sim.run_for(tail)
         if not done:
             raise WorkloadError(f"trace recording for {route_name!r} never completed")
         features.append(done[0])
@@ -380,10 +412,25 @@ def collect_route_features(
     return features
 
 
+# Memoized training collections, keyed like the calibration memo (see
+# repro.core.threshold): the walks are deterministic per world bucket,
+# so repeat builds replay the recorded features — refitting the (cheap,
+# pure) classifier — while advancing the sim clock through the exact
+# recorded ``run_for`` step sequence (bit-for-bit clock parity).
+_TRAINING_MEMO: Dict[tuple, Tuple[Dict[str, Tuple[TraceFeatures, ...]],
+                                  Tuple[float, ...]]] = {}
+
+
+def clear_training_memo() -> None:
+    """Drop memoized trace-classifier training (tests / cold benchmarks)."""
+    _TRAINING_MEMO.clear()
+
+
 def train_trace_classifier(
     scenario: Scenario,
     device: Optional[MobileDevice] = None,
     repetitions: Optional[Dict[str, int]] = None,
+    memo_bucket: Optional[tuple] = None,
 ) -> TraceClassifier:
     """Collect the paper's training traces and fit the classifier.
 
@@ -394,13 +441,33 @@ def train_trace_classifier(
     reps = dict(TRAINING_REPS)
     if repetitions:
         reps.update(repetitions)
+    memo_key = None
+    if memo_bucket is not None:
+        memo_key = (memo_bucket, device.name, device.kind,
+                    tuple(sorted(reps.items())))
+        hit = _TRAINING_MEMO.get(memo_key)
+        if hit is not None:
+            training_stored, steps = hit
+            for step in steps:
+                scenario.env.sim.run_for(step)
+            classifier = TraceClassifier()
+            classifier.fit({label: list(features)
+                            for label, features in training_stored.items()})
+            return classifier
+    step_log: List[float] = []
     training: Dict[str, List[TraceFeatures]] = {}
     for route_name, count in reps.items():
         if route_name not in scenario.env.testbed.routes:
             continue
         label = ROUTE_CLASS.get(route_name, route_name)
-        features = collect_route_features(scenario, device, route_name, count)
+        features = collect_route_features(scenario, device, route_name, count,
+                                          step_log=step_log)
         training.setdefault(label, []).extend(features)
+    if memo_key is not None:
+        _TRAINING_MEMO[memo_key] = (
+            {label: tuple(features) for label, features in training.items()},
+            tuple(step_log),
+        )
     classifier = TraceClassifier()
     classifier.fit(training)
     return classifier

@@ -128,6 +128,21 @@ class FaultInjector:
         """Whether a plan is loaded (inactive injectors never inject)."""
         return self.plan is not None
 
+    def rearm(self, plan: Optional[FaultPlan]) -> None:
+        """Swap the plan in place and reset all per-run fault state.
+
+        Snapshot support (:mod:`repro.experiments.pool`): components
+        capture a reference to their environment's injector at
+        construction, so a restored world re-arms the *same object* for
+        the next home — fresh channel streams (derived from the new
+        plan's seed), zeroed counts, and an empty event trail.  With
+        ``plan=None`` the injector returns to its never-inject state.
+        """
+        self.plan = plan
+        self.counts = {}
+        self.events = []
+        self._streams = {}
+
     # -- channel queries ----------------------------------------------------
     def push_dropped(self, device_name: str) -> bool:
         """Does the cloud silently lose this push?"""

@@ -49,6 +49,7 @@ class HomeEnvironment:
         params: Optional[PropagationParams] = None,
         fault_plan: Optional[FaultPlan] = None,
         tracing: bool = False,
+        with_fault_injector: bool = False,
     ) -> None:
         if not 0 <= deployment < len(testbed.speaker_locations):
             raise RadioError(
@@ -66,8 +67,14 @@ class HomeEnvironment:
         self.obs = Observability(self.sim, tracing=tracing)
         # None unless a plan is active: components treat a missing
         # injector as "never inject", keeping fault-free runs pristine.
+        # ``with_fault_injector`` forces an (unarmed, if planless)
+        # injector to exist anyway — an unarmed injector answers every
+        # query False without touching an RNG, so it is byte-identical
+        # to having none, but it gives snapshot/restore worlds a live
+        # object to re-arm per home (see FaultInjector.rearm).
         self.faults: Optional[FaultInjector] = (
-            FaultInjector(self.sim, fault_plan) if fault_plan is not None else None
+            FaultInjector(self.sim, fault_plan)
+            if (fault_plan is not None or with_fault_injector) else None
         )
         self.model = PropagationModel(
             testbed.plan, params, seed=self.rng.stream("radio.seed").integers(0, 2**31)

@@ -61,6 +61,20 @@ def next_packet_number() -> int:
     return next(_packet_ids)
 
 
+def peek_packet_number() -> int:
+    """The number the *next* packet will get, without consuming it.
+
+    Snapshot support (:mod:`repro.experiments.pool`): a restored world
+    must resume numbering exactly where the template's build left off,
+    so the pool records this value at build time and feeds it back to
+    :func:`reset_packet_numbers` before each simulated home.
+    """
+    global _packet_ids
+    value = next(_packet_ids)
+    _packet_ids = itertools.count(value)
+    return value
+
+
 def reset_packet_numbers(start: int = 1) -> None:
     """Restart packet numbering.
 

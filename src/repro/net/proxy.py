@@ -21,6 +21,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import NetworkError
@@ -192,22 +193,30 @@ class TransparentProxy(TapHost):
             "proxy.flow", flow_id=flow.flow_id, protocol=flow.protocol.value,
             client=str(flow.client), server=str(flow.server),
         )
-        downstream.on_record = lambda conn, pkt: self._on_client_record(flow, pkt)
-        downstream.on_close = lambda conn, reason: self._on_downstream_close(flow, reason)
-        downstream.on_established = lambda conn: self._open_upstream(flow)
+        # ``functools.partial`` over bound methods rather than lambdas:
+        # these callbacks live on connections that outlast this call, and
+        # ``copy.deepcopy`` recurses into a partial's function and args
+        # (rebinding them into the copied object graph) while it treats a
+        # lambda as an atom shared with the original — which would make a
+        # snapshot-restored world call back into the template's flows
+        # (see repro.experiments.pool).
+        downstream.on_record = partial(self._on_client_record, flow)
+        downstream.on_close = partial(self._on_downstream_close, flow)
+        downstream.on_established = partial(self._open_upstream, flow)
 
-    def _open_upstream(self, flow: ProxiedFlow) -> None:
+    def _open_upstream(self, flow: ProxiedFlow, _conn: Optional[TcpConnection] = None) -> None:
         upstream = self.stack.connect(
             flow.server, local_ip=flow.client.ip, tuning=self._tuning
         )
         flow.upstream = upstream
-        upstream.on_record = lambda conn, pkt: self._on_server_record(flow, pkt)
-        upstream.on_close = lambda conn, reason: self._on_upstream_close(flow, reason)
-        upstream.on_established = lambda conn: self._flush_awaiting(flow)
+        upstream.on_record = partial(self._on_server_record, flow)
+        upstream.on_close = partial(self._on_upstream_close, flow)
+        upstream.on_established = partial(self._flush_awaiting, flow)
         if self.on_flow_opened:
             self.on_flow_opened(flow)
 
-    def _on_client_record(self, flow: ProxiedFlow, packet: Packet) -> None:
+    def _on_client_record(self, flow: ProxiedFlow, conn: TcpConnection,
+                          packet: Packet) -> None:
         decision = ForwarderDecision.FORWARD
         if self.record_policy is not None:
             decision = self.record_policy(flow, packet)
@@ -242,7 +251,8 @@ class TransparentProxy(TapHost):
         flow.records_forwarded += 1
         self._m_forwarded.inc()
 
-    def _flush_awaiting(self, flow: ProxiedFlow) -> None:
+    def _flush_awaiting(self, flow: ProxiedFlow,
+                        _conn: Optional[TcpConnection] = None) -> None:
         pending, flow.awaiting_upstream = flow.awaiting_upstream, []
         for record in pending:
             self._send_upstream(flow, record)
@@ -267,7 +277,8 @@ class TransparentProxy(TapHost):
         return len(held)
 
     # -- upstream (cloud-side) ---------------------------------------------
-    def _on_server_record(self, flow: ProxiedFlow, packet: Packet) -> None:
+    def _on_server_record(self, flow: ProxiedFlow, conn: TcpConnection,
+                          packet: Packet) -> None:
         downstream = flow.downstream
         if downstream is None or not downstream.is_established:
             return
@@ -279,7 +290,8 @@ class TransparentProxy(TapHost):
         )
 
     # -- teardown propagation ---------------------------------------------
-    def _on_downstream_close(self, flow: ProxiedFlow, reason: str) -> None:
+    def _on_downstream_close(self, flow: ProxiedFlow, conn: TcpConnection,
+                             reason: str) -> None:
         self._flows_by_downstream.pop(
             flow.downstream.four_tuple if flow.downstream else None, None
         )
@@ -290,7 +302,8 @@ class TransparentProxy(TapHost):
                 flow.upstream.close()
         self._finish_flow(flow, reason)
 
-    def _on_upstream_close(self, flow: ProxiedFlow, reason: str) -> None:
+    def _on_upstream_close(self, flow: ProxiedFlow, conn: TcpConnection,
+                           reason: str) -> None:
         if flow.downstream is not None and flow.downstream.is_established:
             if reason == "rst":
                 flow.downstream.abort("peer-rst")

@@ -348,6 +348,47 @@ class QuantileSketch:
         return f"QuantileSketch(alpha={self.alpha}, n={self.count})"
 
 
+def sketch_ks_distance(a: QuantileSketch, b: QuantileSketch) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic between two sketches.
+
+    Both sketches quantize values into the same logarithmic buckets
+    (identical ``alpha`` required), so their empirical CDFs are exactly
+    comparable at bucket boundaries: the supremum of the CDF gap over
+    those boundaries *is* the KS statistic of the bucketized samples,
+    within the sketches' ``alpha`` relative value error.  Returns NaN
+    when either side is empty.
+    """
+    if abs(a.alpha - b.alpha) > 1e-12:
+        raise ConfigError(
+            f"cannot compare sketches with different alpha "
+            f"({a.alpha} vs {b.alpha})"
+        )
+    if a.count == 0 or b.count == 0:
+        return float("nan")
+    cum_a = a.zero_count
+    cum_b = b.zero_count
+    distance = abs(cum_a / a.count - cum_b / b.count)
+    for index in sorted(set(a.buckets) | set(b.buckets)):
+        cum_a += a.buckets.get(index, 0)
+        cum_b += b.buckets.get(index, 0)
+        distance = max(distance, abs(cum_a / a.count - cum_b / b.count))
+    return distance
+
+
+def ks_critical_value(n: int, m: int, alpha: float = 0.01) -> float:
+    """Two-sample KS rejection threshold for sample sizes ``n``, ``m``.
+
+    Large-sample approximation: ``c(alpha) * sqrt((n + m) / (n * m))``
+    with ``c(alpha) = sqrt(-ln(alpha / 2) / 2)`` (c ≈ 1.63 at 1%).
+    """
+    if n <= 0 or m <= 0:
+        return float("nan")
+    if not 0.0 < alpha < 1.0:
+        raise ConfigError(f"alpha must be in (0, 1), got {alpha!r}")
+    c = math.sqrt(-0.5 * math.log(alpha / 2.0))
+    return c * math.sqrt((n + m) / (n * m))
+
+
 def histogram_quantile(hist: dict, q: float) -> float:
     """Approximate quantile from a snapshot histogram (bucket upper
     bounds; the overflow bucket reports the recorded maximum)."""

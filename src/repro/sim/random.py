@@ -49,6 +49,27 @@ class RngHub:
             self._streams[name] = generator
         return generator
 
+    def reseed(self, seed: int) -> None:
+        """Re-key the hub in place: every already-created stream jumps to
+        the state a fresh hub with ``seed`` would have created it in, and
+        streams created afterwards derive from the new seed.
+
+        The two cases are indistinguishable by construction — a stream's
+        post-reseed state equals its would-be-fresh state — so *which*
+        streams happen to exist at reseed time is unobservable.  That is
+        the property the scenario pool leans on: a memo-warm world build
+        (which skips calibration/training draws and never creates their
+        streams) and a memo-cold build land in identical RNG states after
+        :func:`repro.experiments.pool.rehome` reseeds the hub per home.
+
+        Existing generator *objects* keep their identity (components hold
+        references to them); only their internal state is replaced.
+        """
+        self._seed = int(seed)
+        for name, generator in self._streams.items():
+            fresh = np.random.default_rng(self._derive_seed(name))
+            generator.bit_generator.state = fresh.bit_generator.state
+
     def fork(self, name: str) -> "RngHub":
         """A child hub whose streams are independent of this hub's.
 

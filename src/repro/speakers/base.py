@@ -27,6 +27,20 @@ from repro.radio.geometry import Point
 _interaction_ids = itertools.count(1)
 
 
+def peek_interaction_id() -> int:
+    """The id the next interaction will get (snapshot bookkeeping)."""
+    global _interaction_ids
+    value = next(_interaction_ids)
+    _interaction_ids = itertools.count(value)
+    return value
+
+
+def reset_interaction_ids(start: int = 1) -> None:
+    """Restart interaction numbering (snapshot restore / test isolation)."""
+    global _interaction_ids
+    _interaction_ids = itertools.count(start)
+
+
 class InteractionOutcome(enum.Enum):
     """What ultimately happened to a voice command."""
 

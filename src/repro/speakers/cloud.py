@@ -11,6 +11,7 @@ intact session, which is the experiments' ground truth for blocking.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -71,16 +72,20 @@ class AvsCloud(Host):
         state = _SessionState()
         self._sessions[conn.four_tuple] = state
         self.stats.sessions_opened += 1
-        conn.on_record = lambda c, pkt: self._on_record(c, state, pkt)
-        conn.on_close = lambda c, reason: self._on_close(c, state, reason)
+        # partial() over bound methods, not lambdas: the AVS session is
+        # long-lived, and deepcopy-based world snapshots must rebind
+        # these callbacks into the copied graph (lambdas are copied as
+        # shared atoms; see repro.experiments.pool).
+        conn.on_record = partial(self._on_record, state)
+        conn.on_close = partial(self._on_close, state)
 
-    def _on_close(self, conn: TcpConnection, state: _SessionState, reason: str) -> None:
+    def _on_close(self, state: _SessionState, conn: TcpConnection, reason: str) -> None:
         self._sessions.pop(conn.four_tuple, None)
         self.stats.sessions_closed += 1
         if self.on_session_closed is not None:
             self.on_session_closed(reason)
 
-    def _on_record(self, conn: TcpConnection, state: _SessionState, packet: Packet) -> None:
+    def _on_record(self, state: _SessionState, conn: TcpConnection, packet: Packet) -> None:
         if state.dead:
             return
         self.stats.records_received += 1
@@ -173,14 +178,14 @@ class GoogleCloud(Host):
         state = _SessionState()
         self._sessions[conn.four_tuple] = state
         self.stats.sessions_opened += 1
-        conn.on_record = lambda c, pkt: self._on_record(c, state, pkt)
-        conn.on_close = lambda c, reason: self._on_tcp_close(c, state, reason)
+        conn.on_record = partial(self._on_record, state)
+        conn.on_close = partial(self._on_tcp_close, state)
 
-    def _on_tcp_close(self, conn: TcpConnection, state: _SessionState, reason: str) -> None:
+    def _on_tcp_close(self, state: _SessionState, conn: TcpConnection, reason: str) -> None:
         self._sessions.pop(conn.four_tuple, None)
         self.stats.sessions_closed += 1
 
-    def _on_record(self, conn: TcpConnection, state: _SessionState, packet: Packet) -> None:
+    def _on_record(self, state: _SessionState, conn: TcpConnection, packet: Packet) -> None:
         if state.dead:
             return
         self.stats.records_received += 1

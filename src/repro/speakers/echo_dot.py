@@ -16,6 +16,7 @@ Reproduces the paper's measured behaviour (Section IV-B):
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -86,15 +87,15 @@ class EchoDot(SmartSpeaker):
         conn = self.tcp_stack.connect(Endpoint(ips[0], 443))
         tls = TlsSession()
         signature = sig.OTHER_AMAZON_SIGNATURES.get(domain, (64, 33, 500, 131))
+        conn.on_established = partial(self._announce_misc, tls, signature)
 
-        def on_established(c: TcpConnection) -> None:
-            offset = 0.0
-            for length in signature:
-                self.sim.post(offset, self._send_record, c, tls, length, {})
-                offset += float(self._rng.uniform(*self.SIGNATURE_GAP))
-            self.sim.post(offset + float(self._rng.uniform(2.0, 5.0)), c.close)
-
-        conn.on_established = on_established
+    def _announce_misc(self, tls: TlsSession, signature: tuple,
+                       conn: TcpConnection) -> None:
+        offset = 0.0
+        for length in signature:
+            self.sim.post(offset, self._send_record, conn, tls, length, {})
+            offset += float(self._rng.uniform(*self.SIGNATURE_GAP))
+        self.sim.post(offset + float(self._rng.uniform(2.0, 5.0)), conn.close)
 
     def _connect_avs(self, ips: List[IPv4Address]) -> None:
         if not ips:
@@ -105,12 +106,15 @@ class EchoDot(SmartSpeaker):
         self._reconnect_scheduled = False
         conn = self.tcp_stack.connect(Endpoint(ip, 443), tuning=TcpTuning())
         tls = TlsSession()
-        conn.on_established = lambda c: self._on_avs_established(c, tls)
-        conn.on_close = lambda c, reason: self._on_avs_close(c, reason)
+        # The AVS connection is permanent state: its callbacks must be
+        # partials/bound methods so a deepcopy-based world snapshot
+        # rebinds them (a lambda here would keep calling the template).
+        conn.on_established = partial(self._on_avs_established, tls)
+        conn.on_close = self._on_avs_close
         self._conn = conn
         self._tls = tls
 
-    def _on_avs_established(self, conn: TcpConnection, tls: TlsSession) -> None:
+    def _on_avs_established(self, tls: TlsSession, conn: TcpConnection) -> None:
         conn.on_record = self._on_avs_record
         # Announce with the connection signature.
         offset = 0.0
@@ -135,14 +139,18 @@ class EchoDot(SmartSpeaker):
         self.reconnect_count += 1
         delay = float(self._rng.uniform(*self.RECONNECT_DELAY))
         if self._rng.random() < self.DNS_REQUERY_PROBABILITY:
-            def requery() -> None:
-                self.dns_lookups_for_avs += 1
-                self.dns.resolve(sig.AVS_DOMAIN, self._connect_avs)
-            self.sim.post(delay, requery)
+            self.sim.post(delay, self._requery_avs)
         else:
             # Reconnect using out-of-band endpoint knowledge: the guard
             # sees no DNS query and must rely on the signature.
-            self.sim.post(delay, lambda: self._open_avs_connection(self.avs_directory()))
+            self.sim.post(delay, self._reconnect_out_of_band)
+
+    def _requery_avs(self) -> None:
+        self.dns_lookups_for_avs += 1
+        self.dns.resolve(sig.AVS_DOMAIN, self._connect_avs)
+
+    def _reconnect_out_of_band(self) -> None:
+        self._open_avs_connection(self.avs_directory())
 
     @property
     def connected(self) -> bool:
@@ -190,10 +198,7 @@ class EchoDot(SmartSpeaker):
         base = self.ACTIVATION_LAG
         # The Echo only saturates the band during the upload burst at
         # the end of the command (spike 2).
-        def mark_upload_busy() -> None:
-            self.uploading_until = max(self.uploading_until, self.sim.now + 0.6)
-
-        self.sim.post(base + speech_after_activation, mark_upload_busy)
+        self.sim.post(base + speech_after_activation, self._mark_upload_busy)
         last_index = len(script.records) - 1
         for index, spec in enumerate(script.records):
             meta = dict(spec.meta)
@@ -221,7 +226,10 @@ class EchoDot(SmartSpeaker):
             spike = self.traffic.response_spike()
             for spec in spike:
                 self.sim.post(elapsed + spec.offset, self._send_on_current, spec.length)
-        self.sim.post(elapsed + 0.2, lambda: self.mark_responded(interaction_id))
+        self.sim.post(elapsed + 0.2, self.mark_responded, interaction_id)
+
+    def _mark_upload_busy(self) -> None:
+        self.uploading_until = max(self.uploading_until, self.sim.now + 0.6)
 
     def _send_on_current(self, length: int) -> None:
         if self.connected and self._tls is not None:

@@ -267,3 +267,56 @@ class TestGoogleProfile:
         sim, recognition, classified = google_world
         flow = make_flow(server=OTHER)
         assert recognition.observe(flow, record(480, OTHER)) is ForwarderDecision.FORWARD
+
+
+class TestClassifyEchoLengthBoundaries:
+    """Edge-of-window behaviour of the incremental phase classifier.
+
+    The classifier's windows are exclusive at their far edge: markers
+    count only among the first five packets, the 77->33 response pair
+    only when *both* packets sit inside the seven-packet head.
+    """
+
+    FILLER = 999  # not a marker, a pair element, or a first-range value
+
+    def test_phase1_marker_at_index_four_is_command(self):
+        from repro.core.recognition import classify_echo_lengths
+
+        lengths = [self.FILLER] * 4 + [sig.PHASE1_MARKERS[0]]
+        assert classify_echo_lengths(lengths) is TrafficClass.COMMAND
+
+    def test_phase1_marker_at_index_five_is_outside_window(self):
+        from repro.core.recognition import classify_echo_lengths
+
+        lengths = [self.FILLER] * 5 + [sig.PHASE1_MARKERS[0]]
+        # Six packets seen, marker too late: still undecidable...
+        assert classify_echo_lengths(lengths) is None
+        # ...and a seventh non-evidence packet settles it as UNKNOWN,
+        # never as a command.
+        assert (classify_echo_lengths(lengths + [self.FILLER])
+                is TrafficClass.UNKNOWN)
+
+    def test_phase2_pair_ending_at_head_edge_is_response(self):
+        from repro.core.recognition import classify_echo_lengths
+
+        first, second = sig.PHASE2_MARKER_PAIR
+        lengths = ([self.FILLER] * (sig.PHASE2_MARKER_MAX_INDEX - 2)
+                   + [first, second])
+        assert len(lengths) == sig.PHASE2_MARKER_MAX_INDEX
+        assert classify_echo_lengths(lengths) is TrafficClass.RESPONSE
+
+    def test_phase2_pair_straddling_head_cut_is_unknown(self):
+        from repro.core.recognition import classify_echo_lengths
+
+        first, second = sig.PHASE2_MARKER_PAIR
+        # 77 is the seventh packet, 33 the eighth: the pair straddles
+        # the head cut, so the response signal must NOT fire.
+        lengths = ([self.FILLER] * (sig.PHASE2_MARKER_MAX_INDEX - 1)
+                   + [first, second])
+        assert classify_echo_lengths(lengths) is TrafficClass.UNKNOWN
+
+    def test_empty_lengths_finalize_to_unknown(self):
+        from repro.core.recognition import classify_echo_lengths, finalize_echo_lengths
+
+        assert classify_echo_lengths([]) is None
+        assert finalize_echo_lengths([]) is TrafficClass.UNKNOWN

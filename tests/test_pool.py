@@ -1,0 +1,301 @@
+"""Warm-start scenario pool, fleet full-build parity, and the
+fast-vs-full cross-validation statistics.
+
+The load-bearing contract here is byte identity: a home restored from
+a pool template (deepcopy + rehome) must produce exactly the guard
+event stream a freshly built world produces.  Everything else — the
+5x fleet benchmark, the ``fleet-validate`` statistics, million-home
+full-fidelity claims — leans on that invariant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError, WorkloadError
+from repro.experiments.bench_sim import guard_event_stream
+from repro.experiments.fleet import (
+    FleetConfig,
+    FleetProgressMeter,
+    clear_scenario_pool,
+    run_fleet,
+)
+from repro.experiments.fleet_validate import (
+    CHI2_CRITICAL_DF1,
+    chi2_2x2,
+    run_fleet_validate,
+)
+from repro.experiments.parallel import derive_seed
+from repro.experiments.pool import (
+    ScenarioPool,
+    build_home_cold,
+    pool_key,
+    snapshot_hazards,
+    template_seed,
+)
+from repro.experiments.synthesis import HomeSpec, PopulationModel
+from repro.experiments.workload import SevenDayWorkload
+from repro.obs.metrics import QuantileSketch, ks_critical_value, sketch_ks_distance
+from repro.sim.random import RngHub
+
+# Apartment-only, tiny workloads: the cheapest populations/worlds that
+# still exercise the whole packet-level path.
+CHEAP_POPULATION = PopulationModel(
+    testbed_mix=(("apartment", 1.0),),
+    plan_scales=(1.0,),
+    attack_prevalence=0.5,
+    legit_commands_mean=2.0,
+    attacks_mean=1.0,
+)
+
+
+def make_spec(index=0, testbed="apartment", deployment=0, plan_scale=1.0,
+              owner_count=1, device_kind="smartphone", legit=2, attacks=1,
+              push_loss=0.0):
+    return HomeSpec(
+        index=index,
+        shard=0,
+        seed=derive_seed(99, "test.pool.home", index),
+        testbed=testbed,
+        deployment=deployment,
+        plan_scale=plan_scale,
+        owner_count=owner_count,
+        device_kind=device_kind,
+        legit_commands=legit,
+        attacks=attacks,
+        away_fraction=0.3,
+        body_block_fraction=0.2,
+        push_loss=push_loss,
+        threshold_margin=0.5,
+    )
+
+
+def run_home(scenario, spec):
+    """Simulate the spec's workload and return the guard event stream."""
+    workload = SevenDayWorkload(scenario)
+    workload.run(spec.legit_commands, spec.attacks)
+    scenario.speaker.settle_all()
+    return guard_event_stream(scenario.guard)
+
+
+class TestPoolIdentity:
+    def test_pooled_stream_matches_cold_build(self):
+        """The tentpole invariant, across buckets and with faults armed."""
+        specs = [
+            make_spec(index=0),
+            make_spec(index=1, deployment=1, owner_count=2,
+                      device_kind="smartwatch"),
+            make_spec(index=2, push_loss=0.02),  # fault injector armed
+        ]
+        pool = ScenarioPool()
+        for spec in specs:
+            pooled = run_home(pool.acquire(spec), spec)
+            cold = run_home(build_home_cold(spec), spec)
+            assert pooled == cold, f"stream diverged for spec {spec.index}"
+        # Three specs, two world buckets (0 and 2 share one).
+        assert pool.template_builds == 2
+        assert pool.restores == 3
+
+    def test_restores_are_isolated_from_pool_history(self):
+        """Same spec, same stream — no matter what ran on the pool before."""
+        spec_a = make_spec(index=0)
+        spec_b = make_spec(index=1, push_loss=0.02)
+        pool = ScenarioPool()
+        first = run_home(pool.acquire(spec_a), spec_a)
+        run_home(pool.acquire(spec_b), spec_b)  # perturb pool + globals
+        again = run_home(pool.acquire(spec_a), spec_a)
+        assert first == again
+
+    def test_template_reused_within_bucket(self):
+        pool = ScenarioPool()
+        spec = make_spec(index=0)
+        pool.acquire(spec)
+        pool.acquire(make_spec(index=5))  # same bucket fields
+        assert pool.template_builds == 1
+        assert pool.restores == 2
+        pool.clear()
+        pool.acquire(spec)
+        assert pool.template_builds == 2
+
+    def test_template_seed_is_bucket_not_home(self):
+        """Two homes in one bucket build from one seed; buckets differ."""
+        a = make_spec(index=0)
+        b = make_spec(index=7)
+        c = make_spec(index=1, deployment=1)
+        assert pool_key(a) == pool_key(b)
+        assert template_seed(pool_key(a)) == template_seed(pool_key(b))
+        assert template_seed(pool_key(a)) != template_seed(pool_key(c))
+
+
+class TestSnapshotHazards:
+    def test_template_is_closure_free(self):
+        pool = ScenarioPool()
+        entry = pool.template(pool_key(make_spec()))
+        assert snapshot_hazards(entry.scenario) == []
+
+    def test_planted_closure_is_detected(self):
+        pool = ScenarioPool()
+        entry = pool.template(pool_key(make_spec()))
+        captured = object()
+        entry.scenario.guard._planted_callback = lambda: captured
+        hazards = snapshot_hazards(entry.scenario)
+        assert any("_planted_callback" in hazard for hazard in hazards)
+
+
+class TestRngHubReseed:
+    def test_reseed_matches_fresh_hub(self):
+        hub = RngHub(1)
+        hub.stream("a").normal(size=8)  # advance existing stream state
+        hub.reseed(2)
+        fresh = RngHub(2)
+        assert (hub.stream("a").normal(size=4).tolist()
+                == fresh.stream("a").normal(size=4).tolist())
+        # A stream first created *after* the reseed must be
+        # indistinguishable too (memo-warm builds skip some streams).
+        assert (hub.stream("b").normal(size=4).tolist()
+                == fresh.stream("b").normal(size=4).tolist())
+        assert hub.seed == 2
+
+
+class TestFleetFullBuild:
+    def test_config_rejects_unknown_full_build(self):
+        with pytest.raises(WorkloadError):
+            FleetConfig(homes=4, shards=2, seed=1, full_build="warm")
+
+    @pytest.mark.slow
+    def test_pooled_and_cold_fleets_render_identically(self):
+        clear_scenario_pool()
+        kwargs = dict(homes=4, shards=2, seed=11, chunk_size=2,
+                      fidelity="full", population=CHEAP_POPULATION)
+        pooled = run_fleet(FleetConfig(full_build="pooled", **kwargs),
+                           workers=1)
+        cold = run_fleet(FleetConfig(full_build="cold", **kwargs), workers=1)
+        assert pooled.render() == cold.render()
+
+
+class TestProgressMeter:
+    def test_counts_and_final_emission(self):
+        messages = []
+        meter = FleetProgressMeter(10, emit=messages.append,
+                                   min_interval=0.0)
+        meter.update({"metrics": {"counters": {"fleet.homes": 4}}})
+        meter.update({"metrics": {"counters": {"fleet.homes": 6}}})
+        assert meter.done == 10
+        assert messages[0].startswith("fleet: 4/10 homes (40%)")
+        assert messages[-1].startswith("fleet: 10/10 homes (100%)")
+
+    def test_metrics_free_payload_falls_back_to_counts(self):
+        messages = []
+        meter = FleetProgressMeter(3, emit=messages.append, min_interval=0.0)
+        meter.update({"per_testbed": {"apartment": {"homes": 1},
+                                      "house": {"homes": 2}}})
+        assert meter.done == 3
+
+    def test_rate_limit_suppresses_intermediate_emissions(self):
+        messages = []
+        meter = FleetProgressMeter(4, emit=messages.append,
+                                   min_interval=3600.0)
+        meter.update({"metrics": {"counters": {"fleet.homes": 1}}})
+        assert len(messages) == 1  # the first update always emits
+        meter.update({"metrics": {"counters": {"fleet.homes": 1}}})
+        assert len(messages) == 1  # within the interval, not final
+        meter.update({"metrics": {"counters": {"fleet.homes": 2}}})
+        assert len(messages) == 2  # final emission always fires
+        assert messages[-1].startswith("fleet: 4/4 homes")
+
+
+class TestStatistics:
+    def test_chi2_known_value(self):
+        # (30,10) vs (10,30): chi2 = 80 * (30*30 - 10*10)^2 / 40^4 = 20
+        assert chi2_2x2(30, 10, 10, 30) == pytest.approx(20.0)
+
+    def test_chi2_identical_rows_is_zero(self):
+        assert chi2_2x2(15, 5, 15, 5) == pytest.approx(0.0)
+
+    def test_chi2_degenerate_margins_are_zero(self):
+        assert chi2_2x2(0, 0, 3, 4) == 0.0  # empty row
+        assert chi2_2x2(0, 5, 0, 7) == 0.0  # empty column
+        assert CHI2_CRITICAL_DF1 == pytest.approx(6.635, abs=1e-3)
+
+    def test_ks_identical_sketches_is_zero(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        for value in (1.0, 2.0, 5.0, 9.0):
+            a.add(value)
+            b.add(value)
+        assert sketch_ks_distance(a, b) == 0.0
+
+    def test_ks_disjoint_sketches_is_one(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        for _ in range(10):
+            a.add(1.0)
+            b.add(100.0)
+        assert sketch_ks_distance(a, b) == pytest.approx(1.0)
+
+    def test_ks_zero_heavy_side_counts(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        for _ in range(10):
+            a.add(0.0)  # all mass in the zero bucket
+            b.add(3.0)
+        assert sketch_ks_distance(a, b) == pytest.approx(1.0)
+
+    def test_ks_empty_side_is_nan(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        a.add(1.0)
+        assert math.isnan(sketch_ks_distance(a, b))
+
+    def test_ks_alpha_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            sketch_ks_distance(QuantileSketch(alpha=0.01),
+                               QuantileSketch(alpha=0.02))
+
+    def test_ks_critical_value(self):
+        c = math.sqrt(-0.5 * math.log(0.005))
+        assert ks_critical_value(100, 100) == pytest.approx(
+            c * math.sqrt(200 / 10000.0))
+        # More samples, tighter threshold.
+        assert ks_critical_value(400, 400) < ks_critical_value(100, 100)
+        assert math.isnan(ks_critical_value(0, 10))
+
+
+@pytest.mark.slow
+class TestFleetValidate:
+    def test_cross_validation_structure(self):
+        clear_scenario_pool()
+        result = run_fleet_validate(homes=6, shards=2, seed=3,
+                                    population=CHEAP_POPULATION)
+        assert result.homes == 6
+        assert [c.testbed for c in result.comparisons] == ["apartment"]
+        comparison = result.comparisons[0]
+        assert comparison.fast_counts["homes"] == 6
+        assert comparison.full_counts["homes"] == 6
+        # The outcome chi2 statistics are always finite numbers.
+        for value in (comparison.chi2_false_block, comparison.chi2_blocked,
+                      comparison.chi2_timeout):
+            assert value == value and value >= 0.0
+        rendered = result.render()
+        assert "Fleet fidelity cross-validation" in rendered
+        assert ("pass" in rendered) or ("FAIL" in rendered)
+        assert "homes/sec" in result.render_throughput()
+
+
+@pytest.mark.slow
+class TestCli:
+    def test_fleet_validate_cli_runs(self, capsys):
+        from repro.__main__ import main
+
+        clear_scenario_pool()
+        assert main(["fleet-validate", "--homes", "4", "--shards", "2",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet fidelity cross-validation" in out
+
+    def test_fleet_progress_cli_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fleet", "--homes", "64", "--shards", "2",
+                     "--seed", "1", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "Fleet simulation" in captured.out
+        assert "fleet: 64/64 homes" in captured.err
