@@ -4,7 +4,8 @@
 #   benchmarks/run_benches.sh          # kernel benches -> BENCH_rssi.json,
 #                                      # BENCH_sim.json, BENCH_obs.json,
 #                                      # BENCH_fleet.json,
-#                                      # BENCH_fleet_full.json
+#                                      # BENCH_fleet_full.json,
+#                                      # BENCH_load.json
 #   benchmarks/run_benches.sh --smoke  # same benches at minimal wall time:
 #                                      # exercises the whole path (CI's
 #                                      # bench job), numbers not citable
@@ -12,10 +13,15 @@
 #                                      # suite (regenerates every table and
 #                                      # figure artifact under results/)
 #
-# Run from the repository root.  Both kernel benches assert, before
-# timing, that the optimized path reproduces the reference bit-for-bit
-# (RSSI: batched kernels vs scalar reference; sim: guard event streams
-# legacy vs current kernel), so a passing run doubles as an
+# Run from the repository root.  $BENCH_RESULTS_DIR overrides where the
+# JSON payloads land (default benchmarks/results); CI's bench-regression
+# job points it at a scratch directory so the committed baselines stay
+# untouched for benchmarks/compare_benches.py to compare against.
+#
+# Every bench asserts, before timing, that the optimized path reproduces
+# its reference bit-for-bit (RSSI: batched kernels vs scalar reference;
+# sim: guard event streams legacy vs current kernel; load: concurrency
+# knobs on vs off on a single flow), so a passing run doubles as an
 # equivalence check.
 set -eu
 
@@ -23,25 +29,31 @@ cd "$(dirname "$0")/.."
 PYTHONPATH=src
 export PYTHONPATH
 
+OUT="${BENCH_RESULTS_DIR:-benchmarks/results}"
+mkdir -p "$OUT"
+
 if [ "${1:-}" = "--smoke" ]; then
     python -m repro bench-rssi --seed 7 --seconds 0.05 \
-        --output benchmarks/results/BENCH_rssi.json
+        --output "$OUT/BENCH_rssi.json"
     python -m repro bench-sim --seed 11 --smoke \
-        --output benchmarks/results/BENCH_sim.json
+        --output "$OUT/BENCH_sim.json"
     python benchmarks/bench_obs_overhead.py --smoke \
-        --output benchmarks/results/BENCH_obs.json
+        --output "$OUT/BENCH_obs.json"
     python benchmarks/bench_fleet.py --smoke \
-        --output benchmarks/results/BENCH_fleet.json
+        --output "$OUT/BENCH_fleet.json"
     python benchmarks/bench_fleet_full.py --smoke \
-        --output benchmarks/results/BENCH_fleet_full.json
+        --output "$OUT/BENCH_fleet_full.json"
+    python benchmarks/bench_load.py --smoke \
+        --output "$OUT/BENCH_load.json"
     exit 0
 fi
 
-python -m repro bench-rssi --seed 7 --output benchmarks/results/BENCH_rssi.json
-python -m repro bench-sim --seed 11 --output benchmarks/results/BENCH_sim.json
-python benchmarks/bench_obs_overhead.py --output benchmarks/results/BENCH_obs.json
-python benchmarks/bench_fleet.py --output benchmarks/results/BENCH_fleet.json
-python benchmarks/bench_fleet_full.py --output benchmarks/results/BENCH_fleet_full.json
+python -m repro bench-rssi --seed 7 --output "$OUT/BENCH_rssi.json"
+python -m repro bench-sim --seed 11 --output "$OUT/BENCH_sim.json"
+python benchmarks/bench_obs_overhead.py --output "$OUT/BENCH_obs.json"
+python benchmarks/bench_fleet.py --output "$OUT/BENCH_fleet.json"
+python benchmarks/bench_fleet_full.py --output "$OUT/BENCH_fleet_full.json"
+python benchmarks/bench_load.py --output "$OUT/BENCH_load.json"
 
 if [ "${1:-}" = "--all" ]; then
     python -m pytest benchmarks/ -q

@@ -11,6 +11,7 @@ Commands
 ``cache``       — experiment-cache stats; ``--prune`` reclaims disk
 ``endurance``   — the hold-endurance sweep
 ``resilience``  — fault rate x retry policy sweep (availability under faults)
+``loadtest``    — bursty multi-speaker load: throughput vs hold-time tail
 ``trace``       — run one traced scenario; waterfall + phase timings from spans
 ``bench-rssi``  — microbenchmark the RSSI kernel, write BENCH_rssi.json
 ``bench-sim``   — legacy-vs-current sim-kernel bench, write BENCH_sim.json
@@ -194,6 +195,26 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
         import pathlib
 
         pathlib.Path(args.output).write_text(result.render() + "\n", encoding="utf-8")
+        print(f"(written to {args.output})")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.experiments.loadtest import run_loadtest
+
+    result = run_loadtest(
+        seed=args.seed,
+        smoke=args.smoke,
+        utterances=args.utterances,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+    print(result.render())
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(result.render() + "\n",
+                                             encoding="utf-8")
         print(f"(written to {args.output})")
     return 0
 
@@ -404,6 +425,21 @@ def build_parser() -> argparse.ArgumentParser:
                             default="all")
     resilience.add_argument("--output", default=None)
     resilience.set_defaults(func=_cmd_resilience)
+
+    loadtest = sub.add_parser(
+        "loadtest", parents=[common, parallel],
+        help="bursty multi-speaker load test: resolved commands/sec vs "
+             "hold-time p99 across 1-4 concurrent speakers, plus the "
+             "strict (slot-starved) and degraded (fault-driven overload) "
+             "stress cells")
+    loadtest.add_argument("--smoke", action="store_true",
+                          help="corner cells only (the CI load-smoke job)")
+    loadtest.add_argument("--utterances", type=int, default=None,
+                          help="commands spoken per cell (default 16; 6 "
+                               "under --smoke)")
+    loadtest.add_argument("--output", default=None,
+                          help="also write the rendered table here")
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     trace = sub.add_parser("trace", parents=[common],
                            help="trace one scenario: per-command waterfall and "

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigError
 
@@ -41,6 +42,15 @@ class VoiceGuardConfig:
     # Safety bound: never hold a flow longer than this, whatever happens.
     max_hold: float = 25.0
 
+    # Concurrency (all inert by default: a single command in flight
+    # behaves byte-identically to the pre-concurrency pipeline).
+    max_concurrent_queries: int = 0  # in-flight RSSI queries (0 = unlimited)
+    decision_batching: bool = False  # one report may settle several commands
+    held_byte_budget: int = 0  # global cap on held payload bytes (0 = unlimited)
+    # Overflow policy when the budget is exhausted: True = forward the
+    # victim window unchecked, False = drop it; None follows fail_open.
+    overflow_fail_open: Optional[bool] = None
+
     def __post_init__(self) -> None:
         if self.idle_gap <= 0:
             raise ConfigError(f"idle_gap must be positive, got {self.idle_gap!r}")
@@ -62,3 +72,18 @@ class VoiceGuardConfig:
             )
         if self.max_hold < self.decision_timeout:
             raise ConfigError("max_hold must be at least decision_timeout")
+        if self.max_concurrent_queries < 0:
+            raise ConfigError(
+                f"max_concurrent_queries must be >= 0, got {self.max_concurrent_queries!r}"
+            )
+        if self.held_byte_budget < 0:
+            raise ConfigError(
+                f"held_byte_budget must be >= 0, got {self.held_byte_budget!r}"
+            )
+
+    @property
+    def overflow_releases(self) -> bool:
+        """Effective overflow policy (``overflow_fail_open`` or ``fail_open``)."""
+        if self.overflow_fail_open is not None:
+            return self.overflow_fail_open
+        return self.fail_open

@@ -34,8 +34,9 @@ report availability and accuracy under injected faults.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +69,9 @@ class DecisionContext:
     speaker_ip: str
     requested_at: float
     span: object = NULL_SPAN  # the command's root span, for parent linking
+    # When the hold becomes pointless (the handler's max-hold failsafe
+    # fires then); the coordinator schedules the most urgent flow first.
+    deadline: float = float("inf")
 
 
 @dataclass
@@ -81,6 +85,7 @@ class DecisionResult:
     degraded: bool = False  # granted from the proximity cache, not a live report
     retries: int = 0  # extra pushes sent for this query
     offline_devices: List[str] = field(default_factory=list)
+    batched: bool = False  # settled by another pending command's query
 
     @property
     def legitimate(self) -> bool:
@@ -416,6 +421,169 @@ class _QueryState:
         self.retries = 0
         self.span = NULL_SPAN
         self.push_spans: Dict[str, object] = {}
+
+
+class _PendingDecision:
+    """One admitted-but-not-yet-dispatched legitimacy check."""
+
+    __slots__ = ("context", "callback", "enqueued_at")
+
+    def __init__(self, context: DecisionContext, callback: DecisionCallback,
+                 enqueued_at: float) -> None:
+        self.context = context
+        self.callback = callback
+        self.enqueued_at = enqueued_at
+
+
+class _InflightQuery:
+    """A dispatched query plus the pending commands riding on it."""
+
+    __slots__ = ("context", "subscribers", "started_at")
+
+    def __init__(self, context: DecisionContext, started_at: float) -> None:
+        self.context = context
+        self.subscribers: List[_PendingDecision] = []
+        self.started_at = started_at
+
+
+class DecisionCoordinator(DecisionMethod):
+    """Admission control and batching in front of a decision method.
+
+    With N speakers' commands pending concurrently, the naive pipeline
+    launches N independent RSSI queries — N pushes per device for
+    evidence that is identical across commands (the phone's proximity
+    does not depend on which speaker heard the utterance).  The
+    coordinator adds three behaviours, each provably inert while only
+    one command is in flight:
+
+    * **Batching** (``batching=True``): a command arriving while a
+      query is already in flight subscribes to that query instead of
+      launching its own; one phone report then settles every pending
+      command at once.  Only queries younger than ``batch_window`` are
+      joined, so a subscriber never inherits a verdict built mostly
+      from another command's timeout budget.
+    * **Prioritized scheduling** (``max_inflight`` > 0): excess queries
+      wait in an earliest-deadline-first queue — the flow closest to
+      its max-hold failsafe is queried next — and dispatch as slots
+      free up.  A queued command whose deadline passes resolves as
+      TIMEOUT without ever burning a query slot.
+    * **Queue observability**: ``decision.inflight`` /
+      ``decision.queue_depth`` gauges (high-water marks included) and a
+      ``decision.queue_wait`` histogram feed the loadtest's knee chart.
+    """
+
+    def __init__(
+        self,
+        method: DecisionMethod,
+        sim: Simulator,
+        max_inflight: int = 0,
+        batching: bool = False,
+        batch_window: Optional[float] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.method = method
+        self.sim = sim
+        self.max_inflight = max_inflight
+        self.batching = batching
+        timeout = getattr(method, "timeout", 5.0)
+        self.batch_window = batch_window if batch_window is not None else timeout / 2.0
+        self.batched_settlements = 0
+        self.queued_total = 0
+        self.expired_in_queue = 0
+        self._seq = 0
+        self._inflight: Dict[int, _InflightQuery] = {}
+        self._waiting: List[Tuple[float, int, _PendingDecision]] = []
+        metrics = (obs or Observability()).metrics.scope("decision")
+        self._g_inflight = metrics.gauge("inflight")
+        self._g_queue = metrics.gauge("queue_depth")
+        self._m_batched = metrics.counter("batched_settlements")
+        self._m_queued = metrics.counter("queued")
+        self._m_expired = metrics.counter("expired_in_queue")
+        self._m_queue_wait = metrics.histogram("queue_wait")
+
+    @property
+    def inflight_count(self) -> int:
+        """Queries currently running in the underlying method."""
+        return len(self._inflight)
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted commands waiting for a query slot."""
+        return len(self._waiting)
+
+    def decide(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        """Dispatch, subscribe to an in-flight query, or enqueue."""
+        if self.batching:
+            target = self._joinable_query()
+            if target is not None:
+                target.subscribers.append(
+                    _PendingDecision(context, callback, self.sim.now))
+                context.span.event(
+                    "decision.batched",
+                    primary_window=target.context.window_id,
+                    riders=len(target.subscribers),
+                )
+                return
+        if self.max_inflight and len(self._inflight) >= self.max_inflight:
+            self._seq += 1
+            heapq.heappush(
+                self._waiting,
+                (context.deadline, self._seq,
+                 _PendingDecision(context, callback, self.sim.now)),
+            )
+            self.queued_total += 1
+            self._m_queued.inc()
+            self._g_queue.set(float(len(self._waiting)))
+            context.span.event("decision.queued", depth=len(self._waiting))
+            return
+        self._dispatch(context, callback)
+
+    def _joinable_query(self) -> Optional[_InflightQuery]:
+        """The oldest in-flight query still fresh enough to join."""
+        best: Optional[Tuple[int, _InflightQuery]] = None
+        horizon = self.sim.now - self.batch_window
+        for seq, entry in self._inflight.items():
+            if entry.started_at < horizon:
+                continue
+            if best is None or seq < best[0]:
+                best = (seq, entry)
+        return best[1] if best is not None else None
+
+    def _dispatch(self, context: DecisionContext, callback: DecisionCallback) -> None:
+        self._seq += 1
+        seq = self._seq
+        entry = _InflightQuery(context, self.sim.now)
+        self._inflight[seq] = entry
+        self._g_inflight.set(float(len(self._inflight)))
+
+        def done(result: DecisionResult) -> None:
+            self._inflight.pop(seq, None)
+            self._g_inflight.set(float(len(self._inflight)))
+            callback(result)
+            for rider in entry.subscribers:
+                self.batched_settlements += 1
+                self._m_batched.inc()
+                rider.callback(replace(result, batched=True))
+            self._drain()
+
+        self.method.decide(context, done)
+
+    def _drain(self) -> None:
+        """Fill freed query slots, most urgent deadline first."""
+        while self._waiting and (
+            not self.max_inflight or len(self._inflight) < self.max_inflight
+        ):
+            deadline, _seq, pending = heapq.heappop(self._waiting)
+            self._g_queue.set(float(len(self._waiting)))
+            if deadline <= self.sim.now:
+                # The handler's failsafe already resolved this window;
+                # don't burn a slot proving what nobody is waiting for.
+                self.expired_in_queue += 1
+                self._m_expired.inc()
+                pending.callback(DecisionResult(verdict=Verdict.TIMEOUT))
+                continue
+            self._m_queue_wait.record(self.sim.now - pending.enqueued_at)
+            self._dispatch(pending.context, pending.callback)
 
 
 class DecisionModule:

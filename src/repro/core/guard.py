@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.config import VoiceGuardConfig
-from repro.core.decision import DecisionModule, RssiDecisionMethod
+from repro.core.decision import DecisionCoordinator, DecisionModule, RssiDecisionMethod
 from repro.core.events import CommandEvent, GuardLog
 from repro.core.floor import FloorLevelTracker, TraceClassifier
 from repro.core.handler import TrafficHandler
@@ -25,7 +25,7 @@ from repro.home.devices import MobileDevice, MotionSensor
 from repro.home.environment import HomeEnvironment
 from repro.net.addresses import IPv4Address
 from repro.net.link import Network
-from repro.net.proxy import TransparentProxy, UdpForwarder
+from repro.net.proxy import HoldBudget, TransparentProxy, UdpForwarder
 from repro.speakers.base import SmartSpeaker
 
 
@@ -45,7 +45,18 @@ class VoiceGuard:
         self.log = GuardLog()
         self.obs = env.obs
 
-        self.proxy = TransparentProxy("voiceguard", guard_ip, obs=self.obs)
+        # Global byte budget over every hold queue: with N speakers'
+        # commands in flight the guard parks records for all of them at
+        # once, and memory must stay bounded.  The default (0 bytes =
+        # unlimited) never refuses a hold, keeping single-command runs
+        # byte-identical to the pre-concurrency pipeline.
+        self.hold_budget = HoldBudget(
+            limit_bytes=self.config.held_byte_budget,
+            fail_open=self.config.overflow_releases,
+            obs=self.obs,
+        )
+        self.proxy = TransparentProxy("voiceguard", guard_ip, obs=self.obs,
+                                      hold_budget=self.hold_budget)
         network.attach(self.proxy)
         self.udp_forwarder: Optional[UdpForwarder] = None
 
@@ -72,7 +83,17 @@ class VoiceGuard:
             on_event=self.log.record_resilience,
             obs=self.obs,
         )
-        self.decision = DecisionModule(self.rssi_method)
+        # The coordinator schedules and batches concurrent queries; with
+        # the default knobs (no slot limit, no batching) it dispatches
+        # every query immediately — a pure pass-through.
+        self.coordinator = DecisionCoordinator(
+            self.rssi_method,
+            sim=env.sim,
+            max_inflight=self.config.max_concurrent_queries,
+            batching=self.config.decision_batching,
+            obs=self.obs,
+        )
+        self.decision = DecisionModule(self.coordinator)
         self.handler = TrafficHandler(
             sim=env.sim,
             config=self.config,
@@ -84,6 +105,7 @@ class VoiceGuard:
 
         # Wiring: tapped packets -> recognizer -> handler -> proxy queues.
         self.proxy.record_policy = self.recognition.observe
+        self.proxy.on_hold_overflow = self.handler.on_hold_overflow
         self.proxy.add_snooper(self.recognition.observe_snoop)
         self.recognition.on_classified = self.handler.on_window_classified
         # Closed flows release their recognizer state so week-long

@@ -13,14 +13,14 @@ execute, the paper's Figure 4 case III.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import VoiceGuardConfig
 from repro.core.decision import DecisionContext, DecisionModule, DecisionResult, Verdict
 from repro.core.events import TrafficClass
 from repro.core.recognition import Window
 from repro.net.packet import Protocol
-from repro.net.proxy import ProxiedFlow, TransparentProxy, UdpForwarder
+from repro.net.proxy import ForwarderDecision, ProxiedFlow, TransparentProxy, UdpForwarder
 from repro.obs.tracer import Observability
 from repro.sim.simulator import Simulator
 
@@ -45,11 +45,17 @@ class TrafficHandler:
         self.commands_released = 0
         self.commands_blocked = 0
         self.benign_windows_released = 0
+        self.overflow_resolutions = 0
+        # Command windows whose records are parked, keyed by flow id in
+        # arrival order: the overflow policy sheds the oldest pending
+        # window on the flow whose hold the budget refused.
+        self._pending_windows: Dict[int, List[Window]] = {}
         metrics = (obs or Observability()).metrics.scope("proxy")
         self._m_released = metrics.counter("commands_released")
         self._m_blocked = metrics.counter("commands_blocked")
         self._m_benign = metrics.counter("benign_released")
         self._m_failsafe = metrics.counter("failsafe_resolutions")
+        self._m_overflow = metrics.counter("overflow_resolutions")
         self._m_hold = metrics.histogram("hold_duration")
         self._m_held_records = metrics.counter("records_resolved")
 
@@ -71,7 +77,9 @@ class TrafficHandler:
             speaker_ip=str(window.speaker_ip),
             requested_at=self.sim.now,
             span=window.span,
+            deadline=self.sim.now + self.config.max_hold,
         )
+        self._pending_windows.setdefault(window.flow.flow_id, []).append(window)
 
         def on_result(result: DecisionResult) -> None:
             if window.resolved:
@@ -112,8 +120,51 @@ class TrafficHandler:
         self.sim.schedule(self.config.max_hold, failsafe)
         self.decision.decide(context, on_result)
 
+    # -- backpressure ---------------------------------------------------------
+    def on_hold_overflow(self, flow: ProxiedFlow) -> ForwarderDecision:
+        """The hold budget refused a record on ``flow``: shed load.
+
+        Resolves the oldest pending command window on the flow by the
+        configured overflow policy — fail-open releases it unchecked,
+        fail-closed discards it — freeing its held bytes, and returns
+        the fate of the record that could not be held.  The window's
+        decision query keeps running; its eventual verdict finds the
+        window already resolved and is ignored.
+        """
+        fail_open = self.config.overflow_releases
+        verdict = ForwarderDecision.FORWARD if fail_open else ForwarderDecision.DROP
+        windows = self._pending_windows.get(flow.flow_id)
+        if not windows:
+            return verdict
+        window = windows[0]
+        self.overflow_resolutions += 1
+        self._m_overflow.inc()
+        window.span.event("handler.hold_overflow",
+                          policy="fail_open" if fail_open else "fail_closed")
+        if fail_open:
+            self.commands_released += 1
+            self._m_released.inc()
+            self._release(window)
+        else:
+            self.commands_blocked += 1
+            self._m_blocked.inc()
+            self._discard(window)
+        return verdict
+
     # -- actuation ------------------------------------------------------------
+    def _unregister(self, window: Window) -> None:
+        windows = self._pending_windows.get(window.flow.flow_id)
+        if windows is None:
+            return
+        try:
+            windows.remove(window)
+        except ValueError:
+            return
+        if not windows:
+            del self._pending_windows[window.flow.flow_id]
+
     def _release(self, window: Window) -> None:
+        self._unregister(window)
         count = self._release_flow(window.flow)
         window.released = True
         self._finish_spans(window, "released", count)
@@ -122,6 +173,7 @@ class TrafficHandler:
             window.event.held_records += count
 
     def _discard(self, window: Window) -> None:
+        self._unregister(window)
         count = self._discard_flow(window.flow)
         window.discarded = True
         self._finish_spans(window, "discarded", count)

@@ -560,6 +560,12 @@ class FleetProgressMeter:
                  min_interval: float = 0.5) -> None:
         self.total = total_homes
         self.done = 0
+        # Chunks whose payload carried no metrics snapshot.  The folded
+        # snapshot's collect_metric_snapshots logs a counted warning for
+        # these; the live progress line surfaces the same count so an
+        # operator watching a long run sees the under-reporting as it
+        # happens, not in a log file afterwards.
+        self.missing_metrics = 0
         self.emit = emit if emit is not None else self._default_emit
         self.min_interval = min_interval
         self.start = time.perf_counter()
@@ -572,7 +578,10 @@ class FleetProgressMeter:
         print(message, file=sys.stderr, flush=True)
 
     def _chunk_homes(self, payload: dict) -> int:
-        metrics = payload.get("metrics") or {}
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            self.missing_metrics += 1
+            metrics = {}
         homes = metrics.get("counters", {}).get("fleet.homes")
         if homes is None:  # metrics-free payload: fall back to counts
             homes = sum(counts.get("homes", 0)
@@ -591,10 +600,14 @@ class FleetProgressMeter:
         rate = self.done / elapsed
         remaining = max(self.total - self.done, 0)
         eta = remaining / rate if rate > 0 else float("inf")
+        warning = (
+            f" [{self.missing_metrics} chunks w/o metrics]"
+            if self.missing_metrics else ""
+        )
         self.emit(
             f"fleet: {self.done}/{self.total} homes "
             f"({self.done / self.total:.0%}) — {rate:,.0f} homes/sec, "
-            f"ETA {eta:,.0f}s"
+            f"ETA {eta:,.0f}s{warning}"
         )
 
 

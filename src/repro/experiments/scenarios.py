@@ -39,6 +39,8 @@ from repro.speakers.interaction import EchoTrafficModel, GoogleTrafficModel
 GUARD_IP = "192.168.1.50"
 ECHO_IP = "192.168.1.200"  # the IP the paper shows in Figure 4
 GOOGLE_IP = "192.168.1.201"
+# Additional speakers (multi-speaker homes / loadtest) get IPs from here up.
+EXTRA_SPEAKER_IP_BASE = 210
 DNS_IP = "192.168.1.1"
 AVS_IPS = ("54.239.28.85", "54.239.29.12", "52.94.236.48")
 GOOGLE_CLOUD_IP = "142.250.65.68"
@@ -68,6 +70,12 @@ class Scenario:
     avs_record: Optional[DnsRecord] = None
     motion_sensor: Optional[MotionSensor] = None
     trace_classifier: Optional[TraceClassifier] = None
+    extra_speakers: List[SmartSpeaker] = field(default_factory=list)
+
+    @property
+    def all_speakers(self) -> List[SmartSpeaker]:
+        """The primary speaker plus every extra one, in install order."""
+        return [self.speaker] + list(self.extra_speakers)
 
     @property
     def sim(self):
@@ -280,6 +288,66 @@ def _build_google_side(scenario: Scenario) -> None:
     network.attach(speaker)
     cloud.on_execute = speaker.mark_executed
     scenario.speaker = speaker
+
+
+class _ExecuteDispatch:
+    """Route a cloud's execute callback to whichever speaker owns the
+    interaction.
+
+    One AVS cloud serves every Echo Dot in the home, but interaction
+    records live on the speaker that heard the utterance (ids are
+    process-global, so at most one speaker knows each id and the rest
+    no-op).  A callable object, not a closure: the hook is permanent
+    cloud state, and deepcopy-based world snapshots must rebind the
+    speaker references into the copied graph.
+    """
+
+    def __init__(self, speakers: List[SmartSpeaker]) -> None:
+        self.speakers = speakers
+
+    def __call__(self, interaction_id: int) -> None:
+        for speaker in self.speakers:
+            speaker.mark_executed(interaction_id)
+
+
+def add_echo_speaker(scenario: Scenario, name: Optional[str] = None,
+                     ip: Optional[str] = None) -> SmartSpeaker:
+    """Add another Echo Dot to an existing echo scenario.
+
+    The new speaker shares the home's AVS cloud and DNS but gets its own
+    IP, its own RNG streams, and its own guard coverage — the concurrent
+    multi-speaker setup the loadtest drives.  Every microphone hears
+    every utterance, so one spoken command puts N command windows in
+    flight at once.  The caller is responsible for booting settle time
+    (``scenario.settle()``) after adding speakers.
+    """
+    if scenario.avs_cloud is None or scenario.avs_record is None:
+        raise WorkloadError("add_echo_speaker needs an echo-based scenario")
+    index = len(scenario.extra_speakers) + 1
+    name = name or f"echo-dot-{index + 1}"
+    ip = ip or f"192.168.1.{EXTRA_SPEAKER_IP_BASE + index - 1}"
+    env, network = scenario.env, scenario.network
+    speaker = EchoDot(
+        name,
+        IPv4Address(ip),
+        env,
+        env.rng.stream(f"speaker.{name}"),
+        dns_server=endpoint(DNS_IP, 53),
+        avs_directory=scenario.avs_record.current,
+        traffic_model=EchoTrafficModel(env.rng.stream(f"speaker.{name}.traffic")),
+        misc_domains=[],
+    )
+    network.attach(speaker)
+    avs = scenario.avs_cloud
+    if isinstance(avs.on_execute, _ExecuteDispatch):
+        avs.on_execute.speakers.append(speaker)
+    else:
+        avs.on_execute = _ExecuteDispatch([scenario.speaker, speaker])
+    scenario.extra_speakers.append(speaker)
+    if scenario.guard is not None:
+        scenario.guard.protect(speaker, SpeakerProfile.ECHO)
+    speaker.boot()
+    return speaker
 
 
 def add_second_speaker(scenario: Scenario, speaker_kind: str = "google") -> SmartSpeaker:

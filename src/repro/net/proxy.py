@@ -52,6 +52,56 @@ class ForwarderDecision(enum.Enum):
 # within one guard (the recognizer keys its per-flow state on them).
 
 
+class HoldBudget:
+    """Global byte budget over every hold queue the proxy owns.
+
+    With N speakers' commands in flight concurrently the guard parks
+    records for all of them at once; the budget bounds that memory.  A
+    charge that would exceed ``limit_bytes`` is refused, which triggers
+    the proxy's overflow policy (see ``TransparentProxy.on_hold_overflow``).
+    ``limit_bytes=0`` means unlimited: every charge succeeds and only
+    the gauges move, so the default is byte-identical to having no
+    budget at all.
+    """
+
+    def __init__(self, limit_bytes: int = 0, fail_open: bool = False,
+                 obs: Optional[Observability] = None) -> None:
+        self.limit_bytes = limit_bytes
+        self.fail_open = fail_open
+        self.held_bytes = 0
+        self.held_records = 0
+        self.overflows = 0
+        metrics = (obs or Observability()).metrics.scope("proxy")
+        self._g_bytes = metrics.gauge("held_bytes")
+        self._g_records = metrics.gauge("held_records")
+        self._m_overflows = metrics.counter("hold_overflows")
+
+    def try_charge(self, nbytes: int) -> bool:
+        """Reserve ``nbytes`` for one held record; False on overflow.
+
+        A charge landing exactly on the limit still fits: the budget is
+        an inclusive bound on bytes held, not a high-water trigger.
+        """
+        if self.limit_bytes and self.held_bytes + nbytes > self.limit_bytes:
+            self.overflows += 1
+            self._m_overflows.inc()
+            return False
+        self.held_bytes += nbytes
+        self.held_records += 1
+        self._g_bytes.set(float(self.held_bytes))
+        self._g_records.set(float(self.held_records))
+        return True
+
+    def credit(self, records: List[HeldRecord]) -> None:
+        """Return the bytes of released/discarded records to the pool."""
+        if not records:
+            return
+        self.held_bytes -= sum(record.payload_len for record in records)
+        self.held_records -= len(records)
+        self._g_bytes.set(float(self.held_bytes))
+        self._g_records.set(float(self.held_records))
+
+
 @dataclass
 class HeldRecord:
     """A client record parked in the hold queue."""
@@ -95,6 +145,9 @@ class ProxiedFlow:
 RecordPolicy = Callable[[ProxiedFlow, Packet], ForwarderDecision]
 FlowObserver = Callable[[ProxiedFlow], None]
 SnoopObserver = Callable[[Packet], None]
+# Budget-overflow hook: resolves the flow's pending window by policy and
+# returns what to do with the record that could not be held.
+OverflowPolicy = Callable[[ProxiedFlow], ForwarderDecision]
 
 
 class TransparentProxy(TapHost):
@@ -117,6 +170,7 @@ class TransparentProxy(TapHost):
         proxied_ports: Tuple[int, ...] = (443,),
         tuning: Optional[TcpTuning] = None,
         obs: Optional[Observability] = None,
+        hold_budget: Optional[HoldBudget] = None,
     ) -> None:
         super().__init__(name, ip)
         self.stack = TcpStack(self)
@@ -129,6 +183,8 @@ class TransparentProxy(TapHost):
         self._m_held = metrics.counter("records_held")
         self._m_discarded = metrics.counter("records_discarded")
         self.proxied_ports = tuple(proxied_ports)
+        self.hold_budget = hold_budget or HoldBudget(obs=obs)
+        self.on_hold_overflow: Optional[OverflowPolicy] = None
         self.record_policy: Optional[RecordPolicy] = None
         self.on_flow_opened: Optional[FlowObserver] = None
         self.on_flow_closed: Optional[FlowObserver] = None
@@ -232,10 +288,32 @@ class TransparentProxy(TapHost):
             held_at=self.network.sim.now,
         )
         if decision is ForwarderDecision.HOLD:
+            if not self.hold_budget.try_charge(record.payload_len):
+                self._overflow_record(flow, record)
+                return
             flow.held.append(record)
             self._m_held.inc()
             return
         self._send_upstream(flow, record)
+
+    def _overflow_record(self, flow: ProxiedFlow, record: HeldRecord) -> None:
+        """The budget refused a hold: shed load per the overflow policy.
+
+        The policy hook first resolves the flow's pending window (so its
+        bytes come back to the pool), then tells us what the unheld
+        record's fate is: forwarded past the guard (fail-open) or dropped
+        (fail-closed).
+        """
+        if self.on_hold_overflow is not None:
+            verdict = self.on_hold_overflow(flow)
+        else:
+            verdict = (ForwarderDecision.FORWARD if self.hold_budget.fail_open
+                       else ForwarderDecision.DROP)
+        if verdict is ForwarderDecision.FORWARD:
+            self._send_upstream(flow, record)
+        else:
+            flow.records_discarded += 1
+            self._m_discarded.inc()
 
     def _send_upstream(self, flow: ProxiedFlow, record: HeldRecord) -> None:
         upstream = flow.upstream
@@ -261,6 +339,7 @@ class TransparentProxy(TapHost):
     def release_held(self, flow: ProxiedFlow) -> int:
         """Forward all held records upstream in order; returns the count."""
         held, flow.held = flow.held, []
+        self.hold_budget.credit(held)
         for record in held:
             self._send_upstream(flow, record)
         return len(held)
@@ -272,6 +351,7 @@ class TransparentProxy(TapHost):
         will observe the TLS record-sequence gap and close the session.
         """
         held, flow.held = flow.held, []
+        self.hold_budget.credit(held)
         flow.records_discarded += len(held)
         self._m_discarded.inc(len(held))
         return len(held)
@@ -395,10 +475,27 @@ class UdpForwarder:
             held_at=self.proxy.network.sim.now,
         )
         if decision is ForwarderDecision.HOLD:
+            if not self.proxy.hold_budget.try_charge(record.payload_len):
+                self._overflow_datagram(flow, record)
+                return
             flow.held.append(record)
             self.proxy._m_held.inc()
         else:
             self._forward(flow, record)
+
+    def _overflow_datagram(self, flow: ProxiedFlow, record: HeldRecord) -> None:
+        """Budget refused the hold: shed per the proxy's overflow policy."""
+        proxy = self.proxy
+        if proxy.on_hold_overflow is not None:
+            verdict = proxy.on_hold_overflow(flow)
+        else:
+            verdict = (ForwarderDecision.FORWARD if proxy.hold_budget.fail_open
+                       else ForwarderDecision.DROP)
+        if verdict is ForwarderDecision.FORWARD:
+            self._forward(flow, record)
+        else:
+            flow.records_discarded += 1
+            proxy._m_discarded.inc()
 
     def _forward(self, flow: ProxiedFlow, record: HeldRecord) -> None:
         datagram = Packet(
@@ -419,6 +516,7 @@ class UdpForwarder:
         if flow.protocol is not Protocol.UDP:
             raise NetworkError("release_held on a non-UDP flow; use the proxy")
         held, flow.held = flow.held, []
+        self.proxy.hold_budget.credit(held)
         for record in held:
             self._forward(flow, record)
         return len(held)
@@ -426,6 +524,7 @@ class UdpForwarder:
     def discard_held(self, flow: ProxiedFlow) -> int:
         """Drop all held datagrams."""
         held, flow.held = flow.held, []
+        self.proxy.hold_budget.credit(held)
         flow.records_discarded += len(held)
         self.proxy._m_discarded.inc(len(held))
         return len(held)

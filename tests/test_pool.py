@@ -193,6 +193,26 @@ class TestProgressMeter:
                                       "house": {"homes": 2}}})
         assert meter.done == 3
 
+    def test_metrics_free_payloads_surface_in_the_progress_line(self):
+        # The folded snapshot logs a counted warning for metric-less
+        # results; the live progress line must carry the same count.
+        messages = []
+        meter = FleetProgressMeter(4, emit=messages.append, min_interval=0.0)
+        meter.update({"metrics": {"counters": {"fleet.homes": 1}}})
+        meter.update({"per_testbed": {"house": {"homes": 1}}})
+        meter.update({"per_testbed": {"house": {"homes": 2}}})
+        assert meter.missing_metrics == 2
+        assert "w/o metrics" not in messages[0]
+        assert "[1 chunks w/o metrics]" in messages[1]
+        assert "[2 chunks w/o metrics]" in messages[-1]
+
+    def test_fully_metriced_run_emits_no_warning(self):
+        messages = []
+        meter = FleetProgressMeter(2, emit=messages.append, min_interval=0.0)
+        meter.update({"metrics": {"counters": {"fleet.homes": 2}}})
+        assert meter.missing_metrics == 0
+        assert "w/o metrics" not in messages[-1]
+
     def test_rate_limit_suppresses_intermediate_emissions(self):
         messages = []
         meter = FleetProgressMeter(4, emit=messages.append,
