@@ -107,6 +107,16 @@ BENCHES = {
         ],
         invariants=["streams_identical"],
     ),
+    "BENCH_recognition.json": Bench(
+        mode_path="smoke",
+        metrics=[
+            Metric("signature_drop_points", floor=20.0),
+            Metric("retrain_gap_points", ceiling=10.0, higher_better=False),
+            Metric("throughput.knn_windows_per_sec", floor=200.0),
+            Metric("throughput.mlp_windows_per_sec", floor=200.0),
+        ],
+        invariants=["weights_identical", "tables_identical"],
+    ),
 }
 
 

@@ -5,7 +5,8 @@
 #                                      # BENCH_sim.json, BENCH_obs.json,
 #                                      # BENCH_fleet.json,
 #                                      # BENCH_fleet_full.json,
-#                                      # BENCH_load.json
+#                                      # BENCH_load.json,
+#                                      # BENCH_recognition.json
 #   benchmarks/run_benches.sh --smoke  # same benches at minimal wall time:
 #                                      # exercises the whole path (CI's
 #                                      # bench job), numbers not citable
@@ -21,7 +22,8 @@
 # Every bench asserts, before timing, that the optimized path reproduces
 # its reference bit-for-bit (RSSI: batched kernels vs scalar reference;
 # sim: guard event streams legacy vs current kernel; load: concurrency
-# knobs on vs off on a single flow), so a passing run doubles as an
+# knobs on vs off on a single flow; recognition: same-seed retrains and
+# serial-vs-parallel grid tables), so a passing run doubles as an
 # equivalence check.
 set -eu
 
@@ -45,6 +47,8 @@ if [ "${1:-}" = "--smoke" ]; then
         --output "$OUT/BENCH_fleet_full.json"
     python benchmarks/bench_load.py --smoke \
         --output "$OUT/BENCH_load.json"
+    python benchmarks/bench_recognition.py --smoke \
+        --output "$OUT/BENCH_recognition.json"
     exit 0
 fi
 
@@ -54,6 +58,7 @@ python benchmarks/bench_obs_overhead.py --output "$OUT/BENCH_obs.json"
 python benchmarks/bench_fleet.py --output "$OUT/BENCH_fleet.json"
 python benchmarks/bench_fleet_full.py --output "$OUT/BENCH_fleet_full.json"
 python benchmarks/bench_load.py --output "$OUT/BENCH_load.json"
+python benchmarks/bench_recognition.py --output "$OUT/BENCH_recognition.json"
 
 if [ "${1:-}" = "--all" ]; then
     python -m pytest benchmarks/ -q

@@ -12,6 +12,7 @@ Commands
 ``endurance``   — the hold-endurance sweep
 ``resilience``  — fault rate x retry policy sweep (availability under faults)
 ``loadtest``    — bursty multi-speaker load: throughput vs hold-time tail
+``recognition-robustness`` — matcher x traffic-morphing adversary accuracy grid
 ``trace``       — run one traced scenario; waterfall + phase timings from spans
 ``bench-rssi``  — microbenchmark the RSSI kernel, write BENCH_rssi.json
 ``bench-sim``   — legacy-vs-current sim-kernel bench, write BENCH_sim.json
@@ -206,6 +207,25 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         seed=args.seed,
         smoke=args.smoke,
         utterances=args.utterances,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+    )
+    print(result.render())
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(result.render() + "\n",
+                                             encoding="utf-8")
+        print(f"(written to {args.output})")
+    return 0
+
+
+def _cmd_recognition_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments.recognition_robustness import run_recognition_robustness
+
+    result = run_recognition_robustness(
+        seed=args.seed,
+        smoke=args.smoke,
         workers=args.workers,
         use_cache=not args.no_cache,
     )
@@ -440,6 +460,19 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--output", default=None,
                           help="also write the rendered table here")
     loadtest.set_defaults(func=_cmd_loadtest)
+
+    recognition = sub.add_parser(
+        "recognition-robustness", parents=[common, parallel],
+        help="matcher x traffic-morphing adversary accuracy grid: the "
+             "signature matcher and the trainable knn/mlp recognizers "
+             "against padding/jitter/dummy-burst adversaries, plus "
+             "retrained-on-morph adaptive rows")
+    recognition.add_argument("--smoke", action="store_true",
+                             help="echo corner cells only (the CI "
+                                  "recognition-smoke job)")
+    recognition.add_argument("--output", default=None,
+                             help="also write the rendered table here")
+    recognition.set_defaults(func=_cmd_recognition_robustness)
 
     trace = sub.add_parser("trace", parents=[common],
                            help="trace one scenario: per-command waterfall and "

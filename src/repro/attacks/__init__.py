@@ -8,10 +8,24 @@ injections bypass the microphone's human-audibility assumption, remote
 playback needs no physical presence — but none of them can put the
 owner's phone next to the speaker, which is the invariant VoiceGuard
 checks.
+
+:mod:`repro.attacks.morphing` models a different adversary class: an
+on-path *traffic shaper* that attacks the guard's recognizer (not its
+decision module) by reshaping the flow shape it fingerprints.
 """
 
 from repro.attacks.base import Attack, AttackResult
 from repro.attacks.inaudible import InaudibleAttack, LaserAttack
+from repro.attacks.morphing import (
+    MORPHERS,
+    DummyBurstMorpher,
+    MorphingAdversary,
+    PadToFixedMorpher,
+    RandomPadMorpher,
+    TimingJitterMorpher,
+    TrafficMorpher,
+    create_morpher,
+)
 from repro.attacks.remote import CompromisedPlaybackAttack
 from repro.attacks.replay import ReplayAttack
 from repro.attacks.synthesis import SynthesisAttack
@@ -20,8 +34,16 @@ __all__ = [
     "Attack",
     "AttackResult",
     "CompromisedPlaybackAttack",
+    "DummyBurstMorpher",
     "InaudibleAttack",
     "LaserAttack",
+    "MORPHERS",
+    "MorphingAdversary",
+    "PadToFixedMorpher",
+    "RandomPadMorpher",
     "ReplayAttack",
     "SynthesisAttack",
+    "TimingJitterMorpher",
+    "TrafficMorpher",
+    "create_morpher",
 ]

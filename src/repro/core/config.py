@@ -24,6 +24,15 @@ class VoiceGuardConfig:
     classification_max_packets: int = 7
     heartbeat_len: int = 41  # ignored for spike detection
 
+    # Window recognizer: "signature" (the paper's matcher, default) or a
+    # trainable kind from repro.core.recognizers ("knn" / "mlp"), trained
+    # per speaker during the scenario build.  ``recognizer_train_morph``
+    # names a repro.attacks.morphing adversary whose reshaping is applied
+    # to the training windows (adversarial retraining); None trains clean.
+    recognizer: str = "signature"
+    recognizer_train_windows: int = 30  # training windows per class
+    recognizer_train_morph: Optional[str] = None
+
     # Decision.
     decision_timeout: float = 5.0  # no reply from any device -> timeout verdict
     fail_open: bool = False  # on timeout: True = release, False = drop
@@ -58,6 +67,18 @@ class VoiceGuardConfig:
             raise ConfigError("classification_timeout must be positive")
         if self.classification_max_packets < 2:
             raise ConfigError("classification needs at least 2 packets")
+        # Validation is syntactic only (the recognizer registry lives a
+        # layer above config); unknown names fail at scenario build.
+        if not self.recognizer or not isinstance(self.recognizer, str):
+            raise ConfigError(
+                f"recognizer must be a non-empty name, got {self.recognizer!r}")
+        if self.recognizer_train_windows < 1:
+            raise ConfigError(
+                "recognizer_train_windows must be positive, got "
+                f"{self.recognizer_train_windows!r}")
+        if self.recognizer_train_morph is not None and self.recognizer == "signature":
+            raise ConfigError(
+                "recognizer_train_morph requires a trainable recognizer")
         if self.decision_timeout <= 0:
             raise ConfigError("decision_timeout must be positive")
         if self.push_retries < 0:

@@ -27,8 +27,10 @@ from repro.core.decision import (
     DecisionContext,
     DecisionMethod,
     DecisionResult,
+    RssiDecisionMethod,
     Verdict,
 )
+from repro.core.registry import PluginRegistry
 from repro.errors import ConfigError
 from repro.sim.simulator import Simulator
 
@@ -195,3 +197,19 @@ class AnyOfMethod(DecisionMethod):
 
         for index, method in enumerate(self.methods):
             method.decide(context, lambda r, i=index: on_result(i, r))
+
+
+# ---------------------------------------------------------------------------
+# Method registry
+# ---------------------------------------------------------------------------
+
+# Name → class registry for the extensibility surface, the same shape
+# as the window-recognizer registry (repro.core.recognizers.RECOGNIZERS):
+# experiments and ablations select methods by name instead of importing
+# classes.
+DECISION_METHODS = PluginRegistry("decision method")
+DECISION_METHODS.register("rssi", RssiDecisionMethod)
+DECISION_METHODS.register("allow-list", AllowListMethod)
+DECISION_METHODS.register("quiet-hours", QuietHoursMethod)
+DECISION_METHODS.register("all-of", AllOfMethod)
+DECISION_METHODS.register("any-of", AnyOfMethod)

@@ -143,6 +143,14 @@ class ProxiedFlow:
 
 # Signature of the per-record policy: (flow, packet) -> decision.
 RecordPolicy = Callable[[ProxiedFlow, Packet], ForwarderDecision]
+# A record shim interposes between the tap and the record policy: it
+# receives the observed packet plus the next stage of the chain and
+# returns the decision for the *real* record.  Shims may invoke the
+# next stage extra times with phantom packets (observations only — no
+# record is forwarded or held for them); traffic-morphing adversaries
+# (repro.attacks.morphing) use this to distort what the recognizer
+# sees without touching the actual TCP/TLS byte stream.
+RecordShim = Callable[[ProxiedFlow, Packet, RecordPolicy], ForwarderDecision]
 FlowObserver = Callable[[ProxiedFlow], None]
 SnoopObserver = Callable[[Packet], None]
 # Budget-overflow hook: resolves the flow's pending window by policy and
@@ -186,6 +194,7 @@ class TransparentProxy(TapHost):
         self.hold_budget = hold_budget or HoldBudget(obs=obs)
         self.on_hold_overflow: Optional[OverflowPolicy] = None
         self.record_policy: Optional[RecordPolicy] = None
+        self._record_shims: List[RecordShim] = []
         self.on_flow_opened: Optional[FlowObserver] = None
         self.on_flow_closed: Optional[FlowObserver] = None
         self._snoopers: List[SnoopObserver] = []
@@ -206,6 +215,30 @@ class TransparentProxy(TapHost):
     def add_snooper(self, snooper: SnoopObserver) -> None:
         """Observe every tapped packet (the guard snoops DNS this way)."""
         self._snoopers.append(snooper)
+
+    def install_record_shim(self, shim: RecordShim) -> None:
+        """Interpose ``shim`` between the tap and the record policy.
+
+        Shims stack: the most recently installed one runs first and
+        receives the rest of the chain (ending at ``record_policy``) as
+        its continuation.  With no shims installed this path is exactly
+        the old direct policy call, byte for byte.
+        """
+        self._record_shims.append(shim)
+
+    def _policy_decision(self, flow: ProxiedFlow, packet: Packet) -> ForwarderDecision:
+        """Run the shim chain, then the record policy."""
+        return self._run_policy_chain(len(self._record_shims), flow, packet)
+
+    def _run_policy_chain(self, depth: int, flow: ProxiedFlow,
+                          packet: Packet) -> ForwarderDecision:
+        if depth == 0:
+            if self.record_policy is None:
+                return ForwarderDecision.FORWARD
+            return self.record_policy(flow, packet)
+        shim = self._record_shims[depth - 1]
+        return shim(flow, packet,
+                    partial(self._run_policy_chain, depth - 1))
 
     # -- tap entry point --------------------------------------------------
     def intercept(self, packet: Packet) -> None:
@@ -273,9 +306,7 @@ class TransparentProxy(TapHost):
 
     def _on_client_record(self, flow: ProxiedFlow, conn: TcpConnection,
                           packet: Packet) -> None:
-        decision = ForwarderDecision.FORWARD
-        if self.record_policy is not None:
-            decision = self.record_policy(flow, packet)
+        decision = self._policy_decision(flow, packet)
         if decision is ForwarderDecision.DROP:
             flow.records_discarded += 1
             self._m_discarded.inc()
@@ -460,9 +491,7 @@ class UdpForwarder:
             )
             if self.proxy.on_flow_opened:
                 self.proxy.on_flow_opened(flow)
-        decision = ForwarderDecision.FORWARD
-        if self.proxy.record_policy is not None:
-            decision = self.proxy.record_policy(flow, packet)
+        decision = self.proxy._policy_decision(flow, packet)
         if decision is ForwarderDecision.DROP:
             flow.records_discarded += 1
             self.proxy._m_discarded.inc()

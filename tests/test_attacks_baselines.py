@@ -182,3 +182,34 @@ class TestFirewallTap:
         # internal transition is exercised via intercept in integration
         # tests, here we just sanity-check the timestamp logic.
         assert sim.now > tap._blocking_until
+
+
+class TestAttackBase:
+    """The abstract Attack contract (attacks/base.py)."""
+
+    def test_craft_is_abstract(self, env, rng):
+        from repro.attacks.base import Attack
+
+        with pytest.raises(NotImplementedError):
+            Attack(env, rng).craft("hello", 1.0)
+
+    def test_launch_records_a_result(self, env, victim, rng):
+        from repro.attacks.base import Attack
+
+        class CannedAttack(Attack):
+            name = "canned"
+
+            def craft(self, text, duration):
+                return live_utterance(text, duration, victim, self.rng)
+
+        attack = CannedAttack(env, rng)
+        start = env.sim.now
+        result = attack.launch("hello", 1.5, Point(3, 4, 1))
+        assert result.launched_at == start
+        assert result.heard_by_speaker
+        assert result.utterance.text == "hello"
+        assert attack.results == [result]
+        # Each launch appends; nothing is shared across instances.
+        attack.launch("again", 1.0, Point(3, 4, 1))
+        assert len(attack.results) == 2
+        assert CannedAttack(env, rng).results == []

@@ -233,3 +233,33 @@ def test_disabled_tracing_event_stream_matches_golden(update_goldens):
     traced = json.loads((GOLDEN_DIR / "trace_legit.json").read_text(
         encoding="utf-8"))
     assert traced["events"] == json.loads(text)
+
+
+def test_default_recognizer_and_identity_shim_match_golden():
+    """The recognizer subsystem provably changes nothing by default.
+
+    The legit golden rebuilt with (a) the default signature recognizer
+    spelled out explicitly and (b) an identity traffic morpher installed
+    as a live record shim must reproduce ``events_baseline.json``
+    byte-for-byte: the shim chain and the recognizer dispatch are
+    transparent until someone actually configures them."""
+    from repro.attacks.morphing import MorphingAdversary, TrafficMorpher
+
+    scenario = build_scenario(
+        "house", "echo", seed=SEED, owner_count=1,
+        with_floor_tracking=False, anomalous_rate=0.0, tracing=False,
+        config=VoiceGuardConfig(recognizer="signature"),
+    )
+    adversary = MorphingAdversary(TrafficMorpher(), seed=2024)
+    adversary.install(scenario.guard.proxy)
+    env = scenario.env
+    scenario.owners[0].teleport(env.testbed.speaker_room(0).center(height=0.0))
+    duration = _speak(scenario, "golden.legit")
+    env.sim.run_for(duration + 14.0)
+    assert not scenario.guard.recognition.window_recognizers
+    assert adversary.records_shaped > 0
+
+    stream = [_event_dict(e) for e in scenario.guard.log.events]
+    path = GOLDEN_DIR / "events_baseline.json"
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert json.loads(json.dumps(stream, sort_keys=True)) == expected

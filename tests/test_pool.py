@@ -14,6 +14,8 @@ import math
 
 import pytest
 
+from repro.core.config import VoiceGuardConfig
+from repro.core.recognizers import clear_recognizer_memo
 from repro.errors import ConfigError, WorkloadError
 from repro.experiments.bench_sim import guard_event_stream
 from repro.experiments.fleet import (
@@ -127,6 +129,46 @@ class TestPoolIdentity:
         assert pool_key(a) == pool_key(b)
         assert template_seed(pool_key(a)) == template_seed(pool_key(b))
         assert template_seed(pool_key(a)) != template_seed(pool_key(c))
+
+
+def _only_recognizer(scenario):
+    """The single trained recognizer installed on the scenario's guard."""
+    recognizers = scenario.guard.recognition.window_recognizers
+    assert len(recognizers) == 1
+    return next(iter(recognizers.values()))
+
+
+class TestPoolLearnedRecognizers:
+    """Warm-start identity extends to guards with trained recognizers."""
+
+    def test_pooled_mlp_weights_and_stream_match_cold_build(self):
+        clear_recognizer_memo()
+        config = VoiceGuardConfig(recognizer="mlp")
+        spec = make_spec(index=0)
+        pooled_scenario = ScenarioPool(config=config).acquire(spec)
+        pooled_weights = _only_recognizer(pooled_scenario).weight_bytes()
+        pooled_stream = run_home(pooled_scenario, spec)
+        cold_scenario = build_home_cold(spec, config=config)
+        # Bit-identical weights AND a byte-identical guard event stream:
+        # training draws only from its dedicated streams, so the rehome
+        # reseed leaves pooled and cold guards indistinguishable.
+        assert _only_recognizer(cold_scenario).weight_bytes() == pooled_weights
+        assert run_home(cold_scenario, spec) == pooled_stream
+
+    def test_memo_warm_template_rebuild_is_byte_identical(self):
+        # pool.clear() drops the templates but not the recognizer memo:
+        # the rebuilt template trains from the memo (zero stream draws)
+        # and the restored home must still replay the same bytes.
+        clear_recognizer_memo()
+        config = VoiceGuardConfig(recognizer="knn")
+        spec = make_spec(index=0)
+        pool = ScenarioPool(config=config)
+        first = run_home(pool.acquire(spec), spec)
+        pool.clear()
+        warm = run_home(pool.acquire(spec), spec)
+        assert pool.template_builds == 2
+        assert warm == first
+        clear_recognizer_memo()
 
 
 class TestSnapshotHazards:
